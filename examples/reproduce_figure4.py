@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Figure 4 (and the Section 3.2 diagnostics).
+
+Runs the four extension configurations (squash reuse, +general reuse,
++opcode indexing, +reverse integration), each against the no-integration
+baseline, over the synthetic SPEC2000-INT-like suite and prints the
+per-benchmark speedups and integration rates plus their means.
+
+Usage::
+
+    python examples/reproduce_figure4.py                 # fast subset
+    python examples/reproduce_figure4.py --all           # all 16 benchmarks
+    python examples/reproduce_figure4.py --scale 1.0     # longer runs
+"""
+
+import argparse
+
+from repro.experiments import DEFAULT_BENCHMARKS, FAST_BENCHMARKS
+from repro.experiments import diagnostics, figure4
+from repro.integration.config import LispMode
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--all", action="store_true",
+                        help="run all 16 benchmarks (slower)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (default REPRO_SCALE)")
+    parser.add_argument("--oracle", action="store_true",
+                        help="also run with oracle mis-integration suppression")
+    args = parser.parse_args()
+
+    benchmarks = DEFAULT_BENCHMARKS if args.all else FAST_BENCHMARKS
+    lisp_modes = [LispMode.REALISTIC]
+    if args.oracle:
+        lisp_modes.append(LispMode.ORACLE)
+
+    result = figure4.run(benchmarks=benchmarks, scale=args.scale,
+                         lisp_modes=lisp_modes)
+    for mode in lisp_modes:
+        print(figure4.report(result, lisp=mode.value))
+        print()
+    print("Means (realistic LISP):")
+    for extension in figure4.EXTENSION_CONFIGS:
+        print(f"  {extension:9s} speedup {result.mean_speedup(extension):+6.1%}"
+              f"  integration rate "
+              f"{result.mean_integration_rate(extension):6.1%}")
+    print(f"  reverse-integration share of +reverse: "
+          f"{result.mean_reverse_rate():.1%}")
+
+    diag = diagnostics.run(benchmarks=benchmarks, scale=args.scale)
+    print()
+    print(diagnostics.report(diag))
+
+
+if __name__ == "__main__":
+    main()

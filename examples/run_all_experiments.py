@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Run every experiment and write the consolidated report used by
+EXPERIMENTS.md.
+
+Usage::
+
+    python examples/run_all_experiments.py [--all] [--scale S] [-o FILE]
+"""
+
+import argparse
+import sys
+
+from repro.experiments import DEFAULT_BENCHMARKS, FAST_BENCHMARKS
+from repro.experiments import (
+    ablations,
+    diagnostics,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.integration.config import LispMode
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--all", action="store_true")
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("-o", "--output", default=None)
+    parser.add_argument("--skip-ablations", action="store_true")
+    args = parser.parse_args()
+    benchmarks = DEFAULT_BENCHMARKS if args.all else FAST_BENCHMARKS
+
+    out = open(args.output, "w") if args.output else sys.stdout
+
+    def emit(text: str) -> None:
+        out.write(text + "\n")
+        out.flush()
+
+    emit(f"benchmarks: {', '.join(benchmarks)}\n")
+
+    r4 = figure4.run(benchmarks=benchmarks, scale=args.scale,
+                     lisp_modes=(LispMode.REALISTIC, LispMode.ORACLE))
+    emit(figure4.report(r4, lisp="realistic"))
+    emit("")
+    emit(figure4.report(r4, lisp="oracle"))
+    emit("")
+    for ext in figure4.EXTENSION_CONFIGS:
+        emit(f"MEAN {ext:9s} realistic: speedup {r4.mean_speedup(ext):+.3f} "
+             f"rate {r4.mean_integration_rate(ext):.3f} | oracle: speedup "
+             f"{r4.mean_speedup(ext, 'oracle'):+.3f} "
+             f"rate {r4.mean_integration_rate(ext, 'oracle'):.3f}")
+    emit(f"MEAN reverse-integration rate (+reverse, realistic): "
+         f"{r4.mean_reverse_rate():.3f}")
+    emit("")
+
+    d = diagnostics.run(benchmarks=benchmarks, scale=args.scale)
+    emit(diagnostics.report(d))
+    emit("")
+
+    r5 = figure5.run(benchmarks=benchmarks, scale=args.scale)
+    emit(figure5.report(r5))
+    emit("")
+
+    r6 = figure6.run(benchmarks=benchmarks, scale=args.scale)
+    emit(figure6.report(r6))
+    emit("")
+
+    r7 = figure7.run(benchmarks=benchmarks, scale=args.scale)
+    emit(figure7.report(r7))
+    emit("")
+
+    if not args.skip_ablations:
+        ra = ablations.run(benchmarks=benchmarks, scale=args.scale)
+        emit(ablations.report(ra))
+
+    if args.output:
+        out.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Speedup and mean helpers used by the experiment reporters.
+
+The paper reports *arithmetic* means of integration rates and *geometric*
+means of speedups; these helpers follow that convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.core.stats import SimStats
+
+
+def speedup(baseline: SimStats, improved: SimStats) -> float:
+    """Relative speedup of ``improved`` over ``baseline`` (0.08 == +8%).
+
+    Both runs must have retired the same program; speedup is computed from
+    cycle counts so partial-run comparisons stay meaningful.
+    """
+    if improved.cycles == 0:
+        return 0.0
+    return baseline.cycles / improved.cycles - 1.0
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of speedups expressed as fractions (e.g. 0.08)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    log_sum = sum(math.log(1.0 + v) for v in values)
+    return math.exp(log_sum / len(values)) - 1.0
+
+
+def speedup_table(baselines: Mapping[str, SimStats],
+                  improved: Mapping[str, SimStats]) -> Dict[str, float]:
+    """Per-benchmark speedups plus the ``GMean`` row, as the paper reports."""
+    table = {}
+    for name, base in baselines.items():
+        if name in improved:
+            table[name] = speedup(base, improved[name])
+    table["GMean"] = geometric_mean(table.values())
+    return table
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str],
+                 title: str = "") -> str:
+    """Render a list of dict rows as a plain-text table."""
+    widths = {col: max(len(col), *(len(_fmt(row.get(col))) for row in rows))
+              for col in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(col)).ljust(widths[col])
+                               for col in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

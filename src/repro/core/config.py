@@ -1,0 +1,116 @@
+"""Machine configuration (paper Section 3.1 defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.frontend.branch_predictor import BranchPredictorConfig
+from repro.integration.config import IntegrationConfig
+from repro.memsys.hierarchy import MemSysConfig
+
+
+@dataclass(frozen=True)
+class IssuePortConfig:
+    """Per-cycle issue-port limits of the execution core.
+
+    The paper's baseline issues up to four instructions per cycle with at
+    most two simple integer operations, two floating-point or
+    complex-integer operations, one load and one store.
+    """
+
+    issue_width: int = 4
+    simple_int: int = 2
+    complex_fp: int = 2
+    loads: int = 1
+    stores: int = 1
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Every structural parameter of the simulated processor."""
+
+    # Superscalar widths.
+    fetch_width: int = 4
+    rename_width: int = 4
+    retire_width: int = 4
+    ports: IssuePortConfig = IssuePortConfig()
+
+    # Window sizes.
+    rob_size: int = 128
+    lsq_size: int = 64
+    rs_entries: int = 40
+
+    # Pipeline depths (13 stages in total).
+    fetch_stages: int = 3
+    decode_stages: int = 1
+    rename_stages: int = 1
+    schedule_stages: int = 2
+    regread_stages: int = 2
+    writeback_stages: int = 1
+    diva_stages: int = 1
+    retire_stages: int = 1
+
+    # Front-end buffering.
+    fetch_queue_size: int = 16
+
+    # Memory-disambiguation hardware.
+    collision_history_entries: int = 256
+
+    # Sub-configurations.
+    branch_predictor: BranchPredictorConfig = BranchPredictorConfig()
+    memsys: MemSysConfig = MemSysConfig()
+    integration: IntegrationConfig = IntegrationConfig()
+
+    # Simulation limits.
+    max_cycles: int = 5_000_000
+    deadlock_cycles: int = 50_000
+
+    # ------------------------------------------------------------------
+    @property
+    def frontend_depth(self) -> int:
+        """Stages from fetch up to and including rename (what an integrating
+        instruction still has to traverse)."""
+        return self.fetch_stages + self.decode_stages + self.rename_stages
+
+    @property
+    def execution_depth(self) -> int:
+        """Stages an executing instruction spends in the out-of-order engine
+        (schedule + register read + execute)."""
+        return self.schedule_stages + self.regread_stages + 1
+
+    @property
+    def pipeline_depth(self) -> int:
+        return (self.frontend_depth + self.execution_depth
+                + self.writeback_stages + self.diva_stages
+                + self.retire_stages)
+
+    def with_integration(self, integration: IntegrationConfig
+                         ) -> "MachineConfig":
+        return replace(self, integration=integration)
+
+    # ------------------------------------------------------------------
+    # reduced-complexity presets for Figure 7
+    # ------------------------------------------------------------------
+    def reduced_rs(self, rs_entries: int = 20) -> "MachineConfig":
+        """The paper's RS configuration: half the reservation stations."""
+        return replace(self, rs_entries=rs_entries)
+
+    def reduced_issue_width(self) -> "MachineConfig":
+        """The paper's IW configuration: 3-way issue with a single combined
+        load/store port, front end still 4-wide."""
+        ports = IssuePortConfig(issue_width=3, simple_int=2, complex_fp=1,
+                                loads=1, stores=1)
+        return replace(self, ports=ports, _combined_ldst_port=True)
+
+    def reduced_both(self, rs_entries: int = 20) -> "MachineConfig":
+        """The paper's IW+RS configuration."""
+        return self.reduced_issue_width().reduced_rs(rs_entries)
+
+    # Whether the single load port and single store port are actually one
+    # shared load/store port (used by the IW configuration).
+    _combined_ldst_port: bool = False
+
+    @property
+    def combined_ldst_port(self) -> bool:
+        return self._combined_ldst_port

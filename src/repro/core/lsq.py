@@ -1,0 +1,165 @@
+"""Load/store queue, store-to-load forwarding, and speculative-load
+disambiguation with a collision history table.
+
+Loads issue speculatively in the presence of older stores with unresolved
+addresses.  When a store later resolves to an address that a younger,
+already-executed load read, the processor takes a full squash from that load
+and the collision history table (CHT) learns the load's PC so future
+instances wait for older store addresses to resolve (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.functional.memory import SparseMemory
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import is_load, is_store
+from repro.isa.program import INST_SIZE
+
+
+class CollisionHistoryTable:
+    """Direct-mapped table of load PCs that have caused memory-order
+    violations; a hit makes the load wait for older store addresses."""
+
+    def __init__(self, entries: int = 256):
+        self.entries = entries
+        self._tags: List[Optional[int]] = [None] * entries
+        self.trainings = 0
+        self.hits = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc // INST_SIZE) % self.entries
+
+    def predicts_collision(self, pc: int) -> bool:
+        hit = self._tags[self._index(pc)] == pc
+        if hit:
+            self.hits += 1
+        return hit
+
+    def train(self, pc: int) -> None:
+        self.trainings += 1
+        self._tags[self._index(pc)] = pc
+
+
+class _MemEntry:
+    __slots__ = ("dyn", "is_store", "addr", "data_ready", "executed")
+
+    def __init__(self, dyn: DynInst, is_store_op: bool):
+        self.dyn = dyn
+        self.is_store = is_store_op
+        self.addr: Optional[int] = None
+        self.data_ready = False
+        self.executed = False
+
+
+class LoadStoreQueue:
+    """The in-order queue of in-flight memory operations.
+
+    Entries are allocated at rename (program order) and removed at
+    retirement or squash, so ordering checks can compare positions by
+    sequence number.
+    """
+
+    def __init__(self, size: int = 64):
+        self.size = size
+        self._entries: List[_MemEntry] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def has_space(self, count: int = 1) -> bool:
+        return len(self._entries) + count <= self.size
+
+    def insert(self, dyn: DynInst) -> None:
+        if not self.has_space():
+            raise RuntimeError("LSQ overflow")
+        entry = _MemEntry(dyn, is_store(dyn.op))
+        dyn.lsq_index = True
+        self._entries.append(entry)
+
+    def remove(self, dyn: DynInst) -> None:
+        self._entries = [e for e in self._entries if e.dyn.seq != dyn.seq]
+
+    def squash(self, squashed_seqs: set) -> int:
+        before = len(self._entries)
+        self._entries = [e for e in self._entries
+                         if e.dyn.seq not in squashed_seqs]
+        return before - len(self._entries)
+
+    def _find(self, dyn: DynInst) -> Optional[_MemEntry]:
+        for entry in self._entries:
+            if entry.dyn.seq == dyn.seq:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # store side
+    # ------------------------------------------------------------------
+    def resolve_store(self, dyn: DynInst, addr: int) -> List[DynInst]:
+        """Record a store's resolved address and data.
+
+        Returns the younger loads that already executed against the same
+        word -- each is a memory-order violation requiring a squash.
+        """
+        entry = self._find(dyn)
+        if entry is None:
+            return []
+        entry.addr = SparseMemory.align(addr)
+        entry.data_ready = True
+        entry.executed = True
+        violations = []
+        for other in self._entries:
+            if (not other.is_store and other.executed
+                    and other.dyn.seq > dyn.seq
+                    and other.addr == entry.addr):
+                violations.append(other.dyn)
+        violations.sort(key=lambda d: d.seq)
+        return violations
+
+    # ------------------------------------------------------------------
+    # load side
+    # ------------------------------------------------------------------
+    def record_load(self, dyn: DynInst, addr: int) -> None:
+        entry = self._find(dyn)
+        if entry is not None:
+            entry.addr = SparseMemory.align(addr)
+            entry.executed = True
+
+    def forward_from(self, dyn: DynInst, addr: int
+                     ) -> Tuple[Optional[DynInst], bool]:
+        """Find the youngest older store to the same word.
+
+        Returns ``(store, data_ready)`` -- ``store`` is ``None`` when no
+        older store matches.  ``data_ready`` is False when the matching
+        store has not produced its data yet (the load must wait).
+        """
+        aligned = SparseMemory.align(addr)
+        best: Optional[_MemEntry] = None
+        for entry in self._entries:
+            if (entry.is_store and entry.dyn.seq < dyn.seq
+                    and entry.addr == aligned):
+                if best is None or entry.dyn.seq > best.dyn.seq:
+                    best = entry
+        if best is None:
+            return None, True
+        return best.dyn, best.data_ready
+
+    def older_stores_unresolved(self, dyn: DynInst) -> bool:
+        """True when any older store has not yet resolved its address."""
+        for entry in self._entries:
+            if (entry.is_store and entry.dyn.seq < dyn.seq
+                    and entry.addr is None):
+                return True
+        return False
+
+    def older_store_conflict_possible(self, dyn: DynInst, addr: int) -> bool:
+        """True when an older store either matches the address or is still
+        unresolved (used by conservative, CHT-stalled loads)."""
+        aligned = SparseMemory.align(addr)
+        for entry in self._entries:
+            if entry.is_store and entry.dyn.seq < dyn.seq:
+                if entry.addr is None or entry.addr == aligned:
+                    return True
+        return False

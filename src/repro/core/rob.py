@@ -1,0 +1,66 @@
+"""Reorder buffer: the in-order window of in-flight instructions."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.isa.instruction import DynInst
+
+
+class ReorderBuffer:
+    """A bounded FIFO of in-flight dynamic instructions.
+
+    Instructions enter at rename and leave either at retirement (from the
+    head) or during a squash (from the tail, youngest first) -- the squash
+    order is what lets the renamer undo map-table and reference-count
+    updates serially.
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        self._entries: Deque[DynInst] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DynInst]:
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.size
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, dyn: DynInst) -> None:
+        if self.full:
+            raise RuntimeError("ROB overflow")
+        dyn.rob_index = len(self._entries)
+        self._entries.append(dyn)
+
+    def head(self) -> Optional[DynInst]:
+        return self._entries[0] if self._entries else None
+
+    def pop_head(self) -> DynInst:
+        return self._entries.popleft()
+
+    def squash_younger_than(self, seq: int) -> List[DynInst]:
+        """Remove (and return, youngest first) every instruction with a
+        sequence number strictly greater than ``seq``."""
+        squashed: List[DynInst] = []
+        while self._entries and self._entries[-1].seq > seq:
+            squashed.append(self._entries.pop())
+        return squashed
+
+    def squash_all(self) -> List[DynInst]:
+        """Remove every instruction (youngest first)."""
+        squashed = list(reversed(self._entries))
+        self._entries.clear()
+        return squashed
+
+    def younger_than(self, seq: int) -> List[DynInst]:
+        """Peek at the instructions younger than ``seq`` without removal."""
+        return [dyn for dyn in self._entries if dyn.seq > seq]

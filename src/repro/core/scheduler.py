@@ -1,0 +1,124 @@
+"""Reservation stations and the issue (select) stage.
+
+The scheduler buffers renamed, non-integrated instructions until their
+source physical registers are ready and an issue port of the right class is
+free.  Selection follows the paper: loads, branches and floating-point
+operations have priority, with instruction age as the tie-breaker, subject
+to the per-class port limits and the total issue width.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.config import IssuePortConfig
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+__all__ = ["ReservationStations", "IssuePortConfig"]
+
+_SIMPLE_INT_CLASSES = (
+    OpClass.IALU,
+    OpClass.COND_BRANCH,
+    OpClass.CALL_INDIRECT,
+    OpClass.INDIRECT_JUMP,
+    OpClass.RETURN,
+)
+_COMPLEX_FP_CLASSES = (
+    OpClass.IMUL,
+    OpClass.FP_ADD,
+    OpClass.FP_MUL,
+    OpClass.FP_DIV,
+)
+_PRIORITY_CLASSES = (
+    OpClass.LOAD,
+    OpClass.COND_BRANCH,
+    OpClass.FP_ADD,
+    OpClass.FP_MUL,
+    OpClass.FP_DIV,
+    OpClass.CALL_INDIRECT,
+    OpClass.INDIRECT_JUMP,
+    OpClass.RETURN,
+)
+
+
+def _port_class(dyn: DynInst) -> str:
+    cls = dyn.inst.info.cls
+    if cls is OpClass.LOAD:
+        return "load"
+    if cls is OpClass.STORE:
+        return "store"
+    if cls in _COMPLEX_FP_CLASSES:
+        return "complex"
+    return "simple"
+
+
+class ReservationStations:
+    """A pool of reservation stations with port-constrained selection."""
+
+    def __init__(self, entries: int, ports: Optional[IssuePortConfig] = None,
+                 combined_ldst_port: bool = False):
+        self.entries = entries
+        self.ports = ports or IssuePortConfig()
+        self.combined_ldst_port = combined_ldst_port
+        self._waiting: List[DynInst] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._waiting)
+
+    def has_space(self, count: int = 1) -> bool:
+        return len(self._waiting) + count <= self.entries
+
+    def insert(self, dyn: DynInst) -> None:
+        if not self.has_space():
+            raise RuntimeError("reservation station overflow")
+        self._waiting.append(dyn)
+
+    def squash(self, squashed_seqs: set) -> int:
+        """Drop entries belonging to squashed instructions; returns count."""
+        before = len(self._waiting)
+        self._waiting = [d for d in self._waiting if d.seq not in squashed_seqs]
+        return before - len(self._waiting)
+
+    # ------------------------------------------------------------------
+    def select(self, operand_ready: Callable[[DynInst], bool],
+               load_can_issue: Callable[[DynInst], bool]) -> List[DynInst]:
+        """Pick this cycle's issue group.
+
+        ``operand_ready`` tests whether every source physical register of an
+        instruction is available; ``load_can_issue`` applies the additional
+        memory-ordering constraints (collision history table, unavailable
+        forwarding data).  Selected instructions are removed from the pool.
+        """
+        ports = self.ports
+        candidates = [dyn for dyn in self._waiting if operand_ready(dyn)]
+        candidates.sort(key=lambda d: (
+            0 if d.inst.info.cls in _PRIORITY_CLASSES else 1, d.seq))
+
+        selected: List[DynInst] = []
+        counts = {"simple": 0, "complex": 0, "load": 0, "store": 0}
+        for dyn in candidates:
+            if len(selected) >= ports.issue_width:
+                break
+            port = _port_class(dyn)
+            if port == "load" and not load_can_issue(dyn):
+                continue
+            if self.combined_ldst_port and port in ("load", "store"):
+                if counts["load"] + counts["store"] >= 1:
+                    continue
+            limit = {"simple": ports.simple_int, "complex": ports.complex_fp,
+                     "load": ports.loads, "store": ports.stores}[port]
+            if counts[port] >= limit:
+                continue
+            counts[port] += 1
+            selected.append(dyn)
+
+        if selected:
+            chosen = {d.seq for d in selected}
+            self._waiting = [d for d in self._waiting if d.seq not in chosen]
+        return selected

@@ -1,0 +1,202 @@
+"""Simulation statistics.
+
+:class:`SimStats` carries every metric the paper's evaluation reports:
+IPC/speedup inputs, integration rates split into direct and reverse,
+mis-integration counts, the four integration-stream breakdowns of Figure 5
+(instruction type, integration distance, result status, reference count),
+branch-resolution latency, fetched-instruction counts, executed-instruction
+counts and reservation-station occupancy.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class IntegrationType(enum.Enum):
+    """Instruction-type categories of the Figure 5 "Type" breakdown."""
+
+    LOAD_SP = "load_sp"
+    LOAD_OTHER = "load"
+    ALU = "alu"
+    BRANCH = "branch"
+    FP = "fp"
+
+
+class ResultStatus(enum.Enum):
+    """State of the integrated result at integration time (Figure 5
+    "Status" breakdown)."""
+
+    RENAME = "rename"          # producer renamed but not yet issued
+    ISSUE = "issue"            # producer issued but not yet retired
+    RETIRE = "retire"          # producer retired, mapping still live
+    SHADOW_SQUASH = "shadow"   # zero references: shadowed or squashed
+
+
+# Buckets used by the Figure 5 "Distance" breakdown (renamed instructions
+# between the entry creator and the integrating instruction).
+DISTANCE_BUCKETS = (4, 16, 64, 256, 1024)
+
+
+@dataclass
+class SimStats:
+    """All counters produced by one simulation run."""
+
+    benchmark: str = ""
+    config_name: str = ""
+
+    # Global progress.
+    cycles: int = 0
+    fetched: int = 0
+    renamed: int = 0
+    retired: int = 0
+    squashed: int = 0
+
+    # Execution engine.
+    issued: int = 0
+    executed_loads: int = 0
+    executed_stores: int = 0
+    rs_occupancy_sum: int = 0
+    rs_occupancy_samples: int = 0
+
+    # Branches.
+    retired_branches: int = 0
+    retired_mispredicted_branches: int = 0
+    branch_resolution_latency_sum: int = 0
+    memory_order_violations: int = 0
+
+    # Integration (counted at retirement, per the paper's methodology).
+    integrated_direct: int = 0
+    integrated_reverse: int = 0
+    mis_integrations: int = 0
+    load_mis_integrations: int = 0
+    register_mis_integrations: int = 0
+    lisp_suppressed: int = 0
+    refcount_saturation_failures: int = 0
+
+    # Figure 5 breakdowns (retired integrating instructions only).
+    integration_by_type: Counter = field(default_factory=Counter)
+    reverse_by_type: Counter = field(default_factory=Counter)
+    integration_distance: Counter = field(default_factory=Counter)
+    integration_status: Counter = field(default_factory=Counter)
+    integration_refcount: Counter = field(default_factory=Counter)
+
+    # Per-type retirement counts (denominators for per-type integration rates).
+    retired_by_type: Counter = field(default_factory=Counter)
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def integrated(self) -> int:
+        return self.integrated_direct + self.integrated_reverse
+
+    @property
+    def integration_rate(self) -> float:
+        """Fraction of retired instructions that integrated (bypassed the
+        execution engine)."""
+        return self.integrated / self.retired if self.retired else 0.0
+
+    @property
+    def direct_integration_rate(self) -> float:
+        return self.integrated_direct / self.retired if self.retired else 0.0
+
+    @property
+    def reverse_integration_rate(self) -> float:
+        return self.integrated_reverse / self.retired if self.retired else 0.0
+
+    @property
+    def mis_integrations_per_million(self) -> float:
+        if not self.retired:
+            return 0.0
+        return self.mis_integrations * 1_000_000.0 / self.retired
+
+    @property
+    def avg_rs_occupancy(self) -> float:
+        if not self.rs_occupancy_samples:
+            return 0.0
+        return self.rs_occupancy_sum / self.rs_occupancy_samples
+
+    @property
+    def avg_branch_resolution_latency(self) -> float:
+        if not self.retired_mispredicted_branches:
+            return 0.0
+        return (self.branch_resolution_latency_sum
+                / self.retired_mispredicted_branches)
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        if not self.retired_branches:
+            return 0.0
+        return self.retired_mispredicted_branches / self.retired_branches
+
+    def load_integration_rate(self) -> float:
+        """Fraction of retired loads that integrated."""
+        loads = (self.retired_by_type[IntegrationType.LOAD_SP]
+                 + self.retired_by_type[IntegrationType.LOAD_OTHER])
+        if not loads:
+            return 0.0
+        integrated = (self.integration_by_type[IntegrationType.LOAD_SP]
+                      + self.integration_by_type[IntegrationType.LOAD_OTHER])
+        return integrated / loads
+
+    def stack_load_integration_rate(self) -> float:
+        loads = self.retired_by_type[IntegrationType.LOAD_SP]
+        if not loads:
+            return 0.0
+        return self.integration_by_type[IntegrationType.LOAD_SP] / loads
+
+    def distance_fraction_within(self, limit: int) -> float:
+        """Fraction of integrations whose producer was renamed within
+        ``limit`` dynamic instructions."""
+        if not self.integrated:
+            return 0.0
+        within = sum(count for bucket, count in self.integration_distance.items()
+                     if bucket <= limit)
+        return within / self.integrated
+
+    def status_fraction(self, status: ResultStatus) -> float:
+        if not self.integrated:
+            return 0.0
+        return self.integration_status[status] / self.integrated
+
+    def refcount_fraction_at_most(self, limit: int) -> float:
+        if not self.integrated:
+            return 0.0
+        within = sum(count for rc, count in self.integration_refcount.items()
+                     if rc <= limit)
+        return within / self.integrated
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Compact dictionary used by the experiment reporters."""
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config_name,
+            "cycles": self.cycles,
+            "retired": self.retired,
+            "ipc": round(self.ipc, 4),
+            "integration_rate": round(self.integration_rate, 4),
+            "direct_rate": round(self.direct_integration_rate, 4),
+            "reverse_rate": round(self.reverse_integration_rate, 4),
+            "mis_integrations_per_million": round(
+                self.mis_integrations_per_million, 1),
+            "branch_resolution_latency": round(
+                self.avg_branch_resolution_latency, 2),
+            "avg_rs_occupancy": round(self.avg_rs_occupancy, 2),
+        }
+
+
+def distance_bucket(distance: int) -> int:
+    """Map a raw integration distance to its histogram bucket."""
+    for bucket in DISTANCE_BUCKETS:
+        if distance <= bucket:
+            return bucket
+    return DISTANCE_BUCKETS[-1] * 4

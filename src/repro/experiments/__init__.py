@@ -1,0 +1,33 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+* :mod:`repro.experiments.runner`     -- shared machinery for running suites
+* :mod:`repro.experiments.figure4`    -- extension-by-extension speedups and
+  integration rates (Figure 4), realistic vs oracle LISP
+* :mod:`repro.experiments.figure5`    -- integration-stream breakdowns
+* :mod:`repro.experiments.figure6`    -- IT associativity and size sweeps
+* :mod:`repro.experiments.figure7`    -- reduced-complexity execution engines
+* :mod:`repro.experiments.diagnostics`-- Section 3.2 performance diagnostics
+  (branch-resolution latency, fetched instructions)
+* :mod:`repro.experiments.ablations`  -- extra design-choice ablations called
+  out in DESIGN.md (generation counters, reference-counter width, reverse
+  entries, index schemes)
+
+Each module exposes ``run(...)`` returning a structured result and
+``report(result)`` returning the paper-style text table.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_BENCHMARKS,
+    FAST_BENCHMARKS,
+    default_scale,
+    run_benchmark,
+    run_suite,
+)
+
+__all__ = [
+    "DEFAULT_BENCHMARKS",
+    "FAST_BENCHMARKS",
+    "default_scale",
+    "run_benchmark",
+    "run_suite",
+]

@@ -1,0 +1,95 @@
+"""Design-choice ablations beyond the paper's figures (see DESIGN.md §5).
+
+These isolate the mechanisms the paper argues for qualitatively:
+
+* generation-counter width (0/2/4 bits) -- register mis-integration control;
+* reference-counter width (1/2/4 bits) -- sharing-degree saturation;
+* LISP off / realistic / oracle -- load mis-integration control;
+* reverse entries on/off at fixed indexing -- the isolated value of
+  extension 3;
+* PC vs opcode+imm vs opcode+imm+call-depth indexing at fixed everything
+  else -- the isolated value of extension 2's call-depth mixing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.metrics import arithmetic_mean, format_table
+from repro.core import MachineConfig, SimStats
+from repro.experiments.runner import FAST_BENCHMARKS, run_benchmark
+from repro.integration.config import IndexScheme, IntegrationConfig, LispMode
+
+
+@dataclass
+class AblationResult:
+    benchmarks: List[str]
+    # results[ablation_label][benchmark]
+    results: Dict[str, Dict[str, SimStats]]
+
+    def mean_integration_rate(self, label: str) -> float:
+        runs = self.results[label]
+        return arithmetic_mean(runs[n].integration_rate
+                               for n in self.benchmarks)
+
+    def mean_mis_integrations_per_million(self, label: str) -> float:
+        runs = self.results[label]
+        return arithmetic_mean(runs[n].mis_integrations_per_million
+                               for n in self.benchmarks)
+
+    def mean_register_mis_integrations(self, label: str) -> float:
+        runs = self.results[label]
+        return arithmetic_mean(runs[n].register_mis_integrations
+                               for n in self.benchmarks)
+
+
+def ablation_configs() -> Dict[str, IntegrationConfig]:
+    """The named ablation points."""
+    return {
+        "full (4b gen, 4b rc)": IntegrationConfig.full(),
+        "gen counters 0b": IntegrationConfig.full(generation_bits=0),
+        "gen counters 2b": IntegrationConfig.full(generation_bits=2),
+        "refcount 1b": IntegrationConfig.full(refcount_bits=1),
+        "refcount 2b": IntegrationConfig.full(refcount_bits=2),
+        "lisp off": IntegrationConfig.full(lisp_mode=LispMode.OFF),
+        "lisp oracle": IntegrationConfig.full(lisp_mode=LispMode.ORACLE),
+        "no reverse entries": IntegrationConfig.full(reverse=False),
+        "reverse all stores": IntegrationConfig.full(reverse_sp_only=False),
+        "pc indexing": IntegrationConfig.full(index_scheme=IndexScheme.PC),
+        "opcode+imm indexing": IntegrationConfig.full(
+            index_scheme=IndexScheme.OPCODE_IMM),
+    }
+
+
+def run(benchmarks: Optional[Iterable[str]] = None,
+        scale: Optional[float] = None,
+        machine: Optional[MachineConfig] = None,
+        configs: Optional[Dict[str, IntegrationConfig]] = None
+        ) -> AblationResult:
+    benchmarks = list(benchmarks or FAST_BENCHMARKS)
+    machine = machine or MachineConfig()
+    configs = configs or ablation_configs()
+    results: Dict[str, Dict[str, SimStats]] = {}
+    for label, icfg in configs.items():
+        cfg = machine.with_integration(icfg)
+        results[label] = {name: run_benchmark(name, cfg, scale=scale)
+                          for name in benchmarks}
+    return AblationResult(benchmarks=benchmarks, results=results)
+
+
+def report(result: AblationResult) -> str:
+    rows = []
+    for label in result.results:
+        rows.append({
+            "ablation": label,
+            "mean integration rate": result.mean_integration_rate(label),
+            "mis-integrations/M":
+                result.mean_mis_integrations_per_million(label),
+            "register mis-integrations":
+                result.mean_register_mis_integrations(label),
+        })
+    return format_table(
+        rows, ["ablation", "mean integration rate", "mis-integrations/M",
+               "register mis-integrations"],
+        title="Design-choice ablations")

@@ -1,0 +1,142 @@
+"""Figure 4: impact of general reuse, opcode indexing and speculative memory
+bypassing.
+
+Eight experiments per benchmark: the four extension configurations
+(``squash``, ``+general``, ``+opcode``, ``+reverse``) each run with a
+realistic LISP and with (approximate) oracle mis-integration suppression,
+compared against a no-integration baseline.  The top half of the paper's
+figure is the speedup over that baseline; the bottom half is the integration
+rate with mis-integrations per million retired instructions printed above
+each bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+    speedup,
+)
+from repro.core import MachineConfig, SimStats
+from repro.experiments.runner import DEFAULT_BENCHMARKS, run_benchmark
+from repro.integration.config import IntegrationConfig, LispMode
+
+#: The four extension configurations, in the paper's bar order.
+EXTENSION_CONFIGS = ("squash", "+general", "+opcode", "+reverse")
+
+
+def integration_config_for(extension: str,
+                           lisp: LispMode = LispMode.REALISTIC
+                           ) -> IntegrationConfig:
+    """Map a Figure 4 bar name to its :class:`IntegrationConfig`."""
+    builders = {
+        "squash": IntegrationConfig.squash,
+        "+general": IntegrationConfig.general,
+        "+opcode": IntegrationConfig.opcode,
+        "+reverse": IntegrationConfig.full,
+    }
+    try:
+        return builders[extension]().with_lisp(lisp)
+    except KeyError:
+        raise ValueError(f"unknown extension configuration {extension!r}") from None
+
+
+@dataclass
+class Figure4Result:
+    """All runs behind Figure 4."""
+
+    benchmarks: List[str]
+    baseline: Dict[str, SimStats]
+    # results[extension][lisp_mode][benchmark]
+    results: Dict[str, Dict[str, Dict[str, SimStats]]]
+
+    def speedups(self, extension: str,
+                 lisp: str = "realistic") -> Dict[str, float]:
+        runs = self.results[extension][lisp]
+        table = {name: speedup(self.baseline[name], runs[name])
+                 for name in self.benchmarks}
+        table["GMean"] = geometric_mean(table[n] for n in self.benchmarks)
+        return table
+
+    def integration_rates(self, extension: str,
+                          lisp: str = "realistic") -> Dict[str, float]:
+        runs = self.results[extension][lisp]
+        table = {name: runs[name].integration_rate for name in self.benchmarks}
+        table["AMean"] = arithmetic_mean(table[n] for n in self.benchmarks)
+        return table
+
+    def mean_speedup(self, extension: str, lisp: str = "realistic") -> float:
+        return self.speedups(extension, lisp)["GMean"]
+
+    def mean_integration_rate(self, extension: str,
+                              lisp: str = "realistic") -> float:
+        return self.integration_rates(extension, lisp)["AMean"]
+
+    def mean_reverse_rate(self, extension: str = "+reverse",
+                          lisp: str = "realistic") -> float:
+        runs = self.results[extension][lisp]
+        return arithmetic_mean(runs[n].reverse_integration_rate
+                               for n in self.benchmarks)
+
+    def mis_integrations_per_million(self, extension: str,
+                                     lisp: str = "realistic"
+                                     ) -> Dict[str, float]:
+        runs = self.results[extension][lisp]
+        return {name: runs[name].mis_integrations_per_million
+                for name in self.benchmarks}
+
+
+def run(benchmarks: Optional[Iterable[str]] = None,
+        scale: Optional[float] = None,
+        machine: Optional[MachineConfig] = None,
+        lisp_modes: Iterable[LispMode] = (LispMode.REALISTIC, LispMode.ORACLE),
+        ) -> Figure4Result:
+    """Run the Figure 4 experiment matrix."""
+    benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
+    machine = machine or MachineConfig()
+
+    baseline_cfg = machine.with_integration(IntegrationConfig.disabled())
+    baseline = {name: run_benchmark(name, baseline_cfg, scale=scale)
+                for name in benchmarks}
+
+    results: Dict[str, Dict[str, Dict[str, SimStats]]] = {}
+    for extension in EXTENSION_CONFIGS:
+        results[extension] = {}
+        for lisp in lisp_modes:
+            cfg = machine.with_integration(
+                integration_config_for(extension, lisp))
+            results[extension][lisp.value] = {
+                name: run_benchmark(name, cfg, scale=scale)
+                for name in benchmarks}
+    return Figure4Result(benchmarks=benchmarks, baseline=baseline,
+                         results=results)
+
+
+def report(result: Figure4Result, lisp: str = "realistic") -> str:
+    """Paper-style text rendering of Figure 4."""
+    rows = []
+    for name in result.benchmarks + ["MEAN"]:
+        row = {"benchmark": name}
+        for extension in EXTENSION_CONFIGS:
+            if extension not in result.results:
+                continue
+            speedups = result.speedups(extension, lisp)
+            rates = result.integration_rates(extension, lisp)
+            if name == "MEAN":
+                row[f"{extension} spd"] = speedups["GMean"]
+                row[f"{extension} rate"] = rates["AMean"]
+            else:
+                row[f"{extension} spd"] = speedups[name]
+                row[f"{extension} rate"] = rates[name]
+        rows.append(row)
+    columns = ["benchmark"]
+    for extension in EXTENSION_CONFIGS:
+        columns += [f"{extension} spd", f"{extension} rate"]
+    return format_table(
+        rows, columns,
+        title=f"Figure 4 -- speedup over no-integration baseline and "
+              f"integration rate ({lisp} LISP)")

@@ -1,0 +1,67 @@
+"""Figure 5: breakdowns of the integration retirement stream.
+
+The paper plots four breakdowns over every other benchmark with the baseline
+integration configuration (1K-entry, 4-way IT, realistic LISP): instruction
+type, integration distance, result status at integration time, and reference
+count at integration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis import breakdowns
+from repro.core import MachineConfig, SimStats
+from repro.experiments.runner import FAST_BENCHMARKS, run_benchmark
+from repro.integration.config import IntegrationConfig
+
+
+@dataclass
+class Figure5Result:
+    benchmarks: List[str]
+    stats: Dict[str, SimStats]
+
+    def type_breakdowns(self) -> Dict[str, Dict[str, float]]:
+        return {name: breakdowns.type_breakdown(s)
+                for name, s in self.stats.items()}
+
+    def per_type_rates(self) -> Dict[str, Dict[str, float]]:
+        return {name: breakdowns.per_type_integration_rates(s)
+                for name, s in self.stats.items()}
+
+    def distance_breakdowns(self) -> Dict[str, Dict[int, float]]:
+        return {name: breakdowns.distance_breakdown(s)
+                for name, s in self.stats.items()}
+
+    def status_breakdowns(self) -> Dict[str, Dict[str, float]]:
+        return {name: breakdowns.status_breakdown(s)
+                for name, s in self.stats.items()}
+
+    def refcount_breakdowns(self) -> Dict[str, Dict[int, float]]:
+        return {name: breakdowns.refcount_breakdown(s)
+                for name, s in self.stats.items()}
+
+    def sharing_summary(self) -> Dict[str, Dict[str, float]]:
+        return {name: breakdowns.sharing_degree_fractions(s)
+                for name, s in self.stats.items()}
+
+
+def run(benchmarks: Optional[Iterable[str]] = None,
+        scale: Optional[float] = None,
+        machine: Optional[MachineConfig] = None) -> Figure5Result:
+    """Run the breakdown experiment (full integration configuration)."""
+    benchmarks = list(benchmarks or FAST_BENCHMARKS)
+    machine = machine or MachineConfig()
+    cfg = machine.with_integration(IntegrationConfig.full())
+    stats = {name: run_benchmark(name, cfg, scale=scale)
+             for name in benchmarks}
+    return Figure5Result(benchmarks=benchmarks, stats=stats)
+
+
+def report(result: Figure5Result) -> str:
+    """Per-benchmark textual rendering of all four breakdowns."""
+    sections = [breakdowns.full_breakdown_report(result.stats[name])
+                for name in result.benchmarks]
+    return ("Figure 5 -- integration retirement stream breakdowns\n\n"
+            + "\n\n".join(sections))

@@ -1,0 +1,112 @@
+"""Figure 6: impact of integration-table associativity and size.
+
+Left: 1-way, 2-way, 4-way and fully associative 1K-entry ITs (with 1K
+physical registers).  Right: fully associative, LRU-managed ITs of 64, 256,
+1K and 4K entries (the 4K configuration also gets 4K physical registers, as
+in the paper).  Both halves are run with a realistic and an oracle LISP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.metrics import format_table, geometric_mean, speedup
+from repro.core import MachineConfig, SimStats
+from repro.experiments.runner import FAST_BENCHMARKS, run_benchmark
+from repro.integration.config import IntegrationConfig, LispMode
+
+ASSOCIATIVITIES = (1, 2, 4, 0)          # 0 = fully associative
+SIZES = (64, 256, 1024, 4096)
+
+
+def _assoc_label(assoc: int) -> str:
+    return "full" if assoc == 0 else f"{assoc}-way"
+
+
+@dataclass
+class Figure6Result:
+    benchmarks: List[str]
+    baseline: Dict[str, SimStats]
+    # associativity sweep: results[label][benchmark]
+    assoc_results: Dict[str, Dict[str, SimStats]]
+    # size sweep: results[size][benchmark]
+    size_results: Dict[int, Dict[str, SimStats]]
+
+    def assoc_speedups(self) -> Dict[str, float]:
+        return {label: geometric_mean(
+                    speedup(self.baseline[n], runs[n])
+                    for n in self.benchmarks)
+                for label, runs in self.assoc_results.items()}
+
+    def size_speedups(self) -> Dict[int, float]:
+        return {size: geometric_mean(
+                    speedup(self.baseline[n], runs[n])
+                    for n in self.benchmarks)
+                for size, runs in self.size_results.items()}
+
+    def assoc_integration_rates(self) -> Dict[str, float]:
+        return {label: sum(r.integration_rate for r in runs.values())
+                / len(runs)
+                for label, runs in self.assoc_results.items()}
+
+    def size_integration_rates(self) -> Dict[int, float]:
+        return {size: sum(r.integration_rate for r in runs.values())
+                / len(runs)
+                for size, runs in self.size_results.items()}
+
+
+def run(benchmarks: Optional[Iterable[str]] = None,
+        scale: Optional[float] = None,
+        machine: Optional[MachineConfig] = None,
+        lisp: LispMode = LispMode.REALISTIC,
+        associativities: Iterable[int] = ASSOCIATIVITIES,
+        sizes: Iterable[int] = SIZES) -> Figure6Result:
+    benchmarks = list(benchmarks or FAST_BENCHMARKS)
+    machine = machine or MachineConfig()
+    base_cfg = machine.with_integration(IntegrationConfig.disabled())
+    baseline = {name: run_benchmark(name, base_cfg, scale=scale)
+                for name in benchmarks}
+
+    assoc_results: Dict[str, Dict[str, SimStats]] = {}
+    for assoc in associativities:
+        icfg = IntegrationConfig.full(it_assoc=assoc, lisp_mode=lisp)
+        cfg = machine.with_integration(icfg)
+        assoc_results[_assoc_label(assoc)] = {
+            name: run_benchmark(name, cfg, scale=scale)
+            for name in benchmarks}
+
+    size_results: Dict[int, Dict[str, SimStats]] = {}
+    for size in sizes:
+        pregs = max(1024, size)
+        icfg = IntegrationConfig.full(it_entries=size, it_assoc=0,
+                                      lisp_mode=lisp,
+                                      num_physical_regs=pregs)
+        cfg = machine.with_integration(icfg)
+        size_results[size] = {name: run_benchmark(name, cfg, scale=scale)
+                              for name in benchmarks}
+    return Figure6Result(benchmarks=benchmarks, baseline=baseline,
+                         assoc_results=assoc_results,
+                         size_results=size_results)
+
+
+def report(result: Figure6Result) -> str:
+    assoc_rows = [{"IT organisation": label,
+                   "mean speedup": spd,
+                   "mean integration rate":
+                       result.assoc_integration_rates()[label]}
+                  for label, spd in result.assoc_speedups().items()]
+    size_rows = [{"IT entries": size,
+                  "mean speedup": spd,
+                  "mean integration rate":
+                      result.size_integration_rates()[size]}
+                 for size, spd in result.size_speedups().items()]
+    left = format_table(assoc_rows,
+                        ["IT organisation", "mean speedup",
+                         "mean integration rate"],
+                        title="Figure 6 (left) -- IT associativity (1K entries)")
+    right = format_table(size_rows,
+                         ["IT entries", "mean speedup",
+                          "mean integration rate"],
+                         title="Figure 6 (right) -- IT size (fully associative)")
+    return left + "\n\n" + right

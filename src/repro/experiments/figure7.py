@@ -1,0 +1,133 @@
+"""Figure 7: trading integration for execution-engine complexity.
+
+Four machine organisations -- the 4-way/40-RS baseline (``base``), half the
+reservation stations (``RS``), reduced issue width with a single load/store
+port (``IW``), and both reductions together (``IW+RS``) -- each simulated
+with and without integration.  All speedups are reported relative to the
+baseline machine *without* integration, as in the paper.  Section 3.5's
+supporting metrics (executed-instruction reduction, executed-load reduction,
+reservation-station occupancy) are also collected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+    speedup,
+)
+from repro.core import MachineConfig, SimStats
+from repro.experiments.runner import DEFAULT_BENCHMARKS, run_benchmark
+from repro.integration.config import IntegrationConfig, LispMode
+
+MACHINE_VARIANTS = ("base", "RS", "IW", "IW+RS")
+
+
+def machine_variant(base: MachineConfig, variant: str) -> MachineConfig:
+    """Build one of the paper's reduced-complexity machine organisations."""
+    if variant == "base":
+        return base
+    if variant == "RS":
+        return base.reduced_rs(20)
+    if variant == "IW":
+        return base.reduced_issue_width()
+    if variant == "IW+RS":
+        return base.reduced_both(20)
+    raise ValueError(f"unknown machine variant {variant!r}")
+
+
+@dataclass
+class Figure7Result:
+    benchmarks: List[str]
+    # results[variant][("none"|"integration")][benchmark]
+    results: Dict[str, Dict[str, Dict[str, SimStats]]]
+
+    def _baseline(self) -> Dict[str, SimStats]:
+        return self.results["base"]["none"]
+
+    def speedups(self, variant: str, integration: str) -> Dict[str, float]:
+        base = self._baseline()
+        runs = self.results[variant][integration]
+        table = {name: speedup(base[name], runs[name])
+                 for name in self.benchmarks}
+        table["GMean"] = geometric_mean(table[n] for n in self.benchmarks)
+        return table
+
+    def mean_speedup(self, variant: str, integration: str) -> float:
+        return self.speedups(variant, integration)["GMean"]
+
+    def executed_reduction(self) -> float:
+        """Mean reduction in executed (issued) instructions due to
+        integration on the baseline machine."""
+        without = self.results["base"]["none"]
+        with_int = self.results["base"]["integration"]
+        fracs = []
+        for name in self.benchmarks:
+            if without[name].issued:
+                fracs.append(1.0 - with_int[name].issued / without[name].issued)
+        return arithmetic_mean(fracs)
+
+    def load_reduction(self) -> float:
+        without = self.results["base"]["none"]
+        with_int = self.results["base"]["integration"]
+        fracs = []
+        for name in self.benchmarks:
+            if without[name].executed_loads:
+                fracs.append(1.0 - with_int[name].executed_loads
+                             / without[name].executed_loads)
+        return arithmetic_mean(fracs)
+
+    def rs_occupancy(self, integration: str) -> float:
+        runs = self.results["base"][integration]
+        return arithmetic_mean(runs[n].avg_rs_occupancy
+                               for n in self.benchmarks)
+
+
+def run(benchmarks: Optional[Iterable[str]] = None,
+        scale: Optional[float] = None,
+        machine: Optional[MachineConfig] = None,
+        lisp: LispMode = LispMode.REALISTIC,
+        variants: Iterable[str] = MACHINE_VARIANTS) -> Figure7Result:
+    benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
+    machine = machine or MachineConfig()
+    integration_cfgs = {
+        "none": IntegrationConfig.disabled(),
+        "integration": IntegrationConfig.full(lisp_mode=lisp),
+    }
+    results: Dict[str, Dict[str, Dict[str, SimStats]]] = {}
+    for variant in variants:
+        variant_machine = machine_variant(machine, variant)
+        results[variant] = {}
+        for int_name, icfg in integration_cfgs.items():
+            cfg = variant_machine.with_integration(icfg)
+            results[variant][int_name] = {
+                name: run_benchmark(name, cfg, scale=scale)
+                for name in benchmarks}
+    return Figure7Result(benchmarks=benchmarks, results=results)
+
+
+def report(result: Figure7Result) -> str:
+    rows = []
+    for variant in result.results:
+        rows.append({
+            "machine": variant,
+            "speedup w/o integration": result.mean_speedup(variant, "none"),
+            "speedup w/ integration": result.mean_speedup(variant,
+                                                          "integration"),
+        })
+    table = format_table(
+        rows, ["machine", "speedup w/o integration", "speedup w/ integration"],
+        title="Figure 7 -- reduced-complexity execution engines "
+              "(speedups vs. base machine without integration)")
+    extras = (
+        f"\nexecuted-instruction reduction from integration: "
+        f"{result.executed_reduction():.1%}"
+        f"\nexecuted-load reduction from integration: "
+        f"{result.load_reduction():.1%}"
+        f"\nmean RS occupancy: {result.rs_occupancy('none'):.1f} -> "
+        f"{result.rs_occupancy('integration'):.1f}")
+    return table + extras

@@ -1,0 +1,85 @@
+"""Shared experiment machinery.
+
+All experiments run synthetic benchmarks through :func:`repro.core.simulate`.
+Because every run is deterministic, results for a (benchmark, configuration,
+scale) triple are cached in-process so that, for example, the baseline run is
+shared between Figure 4 and Figure 7.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core import MachineConfig, SimStats, simulate
+from repro.workloads import build_workload, workload_names
+
+#: The full benchmark list (paper Figure 4 order).
+DEFAULT_BENCHMARKS: Tuple[str, ...] = tuple(workload_names())
+
+#: "Every other benchmark", as the paper uses for Figure 5/6 in the interest
+#: of space; also the default for the pytest benchmark harness.
+FAST_BENCHMARKS: Tuple[str, ...] = (
+    "crafty", "eon.k", "gap", "gzip", "parser", "perl.s", "vortex", "vpr.r",
+)
+
+#: An even smaller subset for smoke tests.
+SMOKE_BENCHMARKS: Tuple[str, ...] = ("gzip", "crafty", "mcf")
+
+_CACHE: Dict[Tuple, SimStats] = {}
+
+
+def default_scale() -> float:
+    """Workload scale factor, overridable with the ``REPRO_SCALE`` env var.
+
+    1.0 reproduces the sizes listed in DESIGN.md (10k-60k dynamic
+    instructions per benchmark); smaller values shorten every experiment
+    proportionally.
+    """
+    return float(os.environ.get("REPRO_SCALE", "0.5"))
+
+
+def _config_key(config: MachineConfig) -> Tuple:
+    icfg = config.integration
+    return (
+        config.rs_entries, config.ports, config.rob_size, config.lsq_size,
+        icfg.enabled, icfg.general_reuse, icfg.index_scheme, icfg.reverse,
+        icfg.it_entries, icfg.it_assoc, icfg.lisp_mode, icfg.generation_bits,
+        icfg.refcount_bits, icfg.num_physical_regs, config.combined_ldst_port,
+    )
+
+
+def run_benchmark(benchmark: str, config: MachineConfig,
+                  scale: Optional[float] = None,
+                  use_cache: bool = True) -> SimStats:
+    """Simulate one benchmark under one machine configuration."""
+    scale = default_scale() if scale is None else scale
+    key = (benchmark, scale, _config_key(config))
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    program = build_workload(benchmark, scale=scale)
+    stats = simulate(program, config, name=benchmark)
+    if use_cache:
+        _CACHE[key] = stats
+    return stats
+
+
+def run_suite(benchmarks: Iterable[str],
+              configs: Mapping[str, MachineConfig],
+              scale: Optional[float] = None
+              ) -> Dict[str, Dict[str, SimStats]]:
+    """Run every benchmark under every named configuration.
+
+    Returns ``results[config_name][benchmark] -> SimStats``.
+    """
+    results: Dict[str, Dict[str, SimStats]] = {}
+    for config_name, config in configs.items():
+        results[config_name] = {}
+        for benchmark in benchmarks:
+            results[config_name][benchmark] = run_benchmark(
+                benchmark, config, scale=scale)
+    return results
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,30 @@
+"""Front-end substrates: branch direction/target prediction and the return
+address stack.
+
+The paper's front end uses an 8K-entry hybrid gshare/bimodal direction
+predictor with a 4K-entry BTB.  The return-address stack both predicts return
+targets and supplies the *call depth* that extension 2 (opcode indexing)
+mixes into the integration-table index.
+"""
+
+from repro.frontend.branch_predictor import (
+    BimodalPredictor,
+    GSharePredictor,
+    HybridPredictor,
+    BranchTargetBuffer,
+    ReturnAddressStack,
+    BranchPredictor,
+    BranchPredictorConfig,
+    BranchPrediction,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "GSharePredictor",
+    "HybridPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "BranchPredictor",
+    "BranchPredictorConfig",
+    "BranchPrediction",
+]

@@ -1,0 +1,285 @@
+"""Branch direction and target prediction.
+
+Components:
+
+* :class:`BimodalPredictor` -- PC-indexed 2-bit saturating counters.
+* :class:`GSharePredictor` -- global-history XOR PC indexed 2-bit counters.
+* :class:`HybridPredictor` -- bimodal/gshare with a chooser table (the
+  paper's "hybrid gshare/bimodal" predictor).
+* :class:`BranchTargetBuffer` -- direct-mapped tagged target cache.
+* :class:`ReturnAddressStack` -- return-target prediction; its top-of-stack
+  index is the *call depth* consumed by the integration-table index
+  function.
+* :class:`BranchPredictor` -- the front-end unit gluing these together, with
+  checkpoint/restore support for mis-speculation recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import OpClass
+from repro.isa.program import INST_SIZE
+
+
+def _saturate(value: int, delta: int, lo: int = 0, hi: int = 3) -> int:
+    return max(lo, min(hi, value + delta))
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Sizes of the front-end prediction structures (paper defaults)."""
+
+    bimodal_entries: int = 8192
+    gshare_entries: int = 8192
+    chooser_entries: int = 8192
+    history_bits: int = 13
+    btb_entries: int = 4096
+    ras_entries: int = 64
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self.table = [2] * entries  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return (pc // INST_SIZE) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        self.table[idx] = _saturate(self.table[idx], 1 if taken else -1)
+
+
+class GSharePredictor:
+    """Global-history-XOR-PC indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int, history_bits: int):
+        self.entries = entries
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.table = [2] * entries
+
+    def index(self, pc: int, history: int) -> int:
+        return ((pc // INST_SIZE) ^ (history & self.history_mask)) % self.entries
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.table[self.index(pc, history)] >= 2
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        idx = self.index(pc, history)
+        self.table[idx] = _saturate(self.table[idx], 1 if taken else -1)
+
+
+class HybridPredictor:
+    """Chooser-based combination of bimodal and gshare."""
+
+    def __init__(self, config: BranchPredictorConfig):
+        self.config = config
+        self.bimodal = BimodalPredictor(config.bimodal_entries)
+        self.gshare = GSharePredictor(config.gshare_entries, config.history_bits)
+        self.chooser = [2] * config.chooser_entries  # >=2 selects gshare
+
+    def _chooser_index(self, pc: int) -> int:
+        return (pc // INST_SIZE) % self.config.chooser_entries
+
+    def predict(self, pc: int, history: int) -> bool:
+        if self.chooser[self._chooser_index(pc)] >= 2:
+            return self.gshare.predict(pc, history)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        bim_correct = self.bimodal.predict(pc) == taken
+        gsh_correct = self.gshare.predict(pc, history) == taken
+        idx = self._chooser_index(pc)
+        if gsh_correct and not bim_correct:
+            self.chooser[idx] = _saturate(self.chooser[idx], 1)
+        elif bim_correct and not gsh_correct:
+            self.chooser[idx] = _saturate(self.chooser[idx], -1)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, history, taken)
+
+
+class BranchTargetBuffer:
+    """Direct-mapped, tagged branch target buffer."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self.tags: List[Optional[int]] = [None] * entries
+        self.targets: List[int] = [0] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc // INST_SIZE) % self.entries
+
+    def lookup(self, pc: int) -> Optional[int]:
+        idx = self._index(pc)
+        if self.tags[idx] == pc:
+            return self.targets[idx]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        idx = self._index(pc)
+        self.tags[idx] = pc
+        self.targets[idx] = target
+
+
+class ReturnAddressStack:
+    """Circular return-address stack.
+
+    ``depth`` (the top-of-stack index) is exported as the dynamic call depth
+    used by opcode indexing (paper Section 2.3).
+    """
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self.stack: List[int] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self.stack)
+
+    def push(self, return_pc: int) -> None:
+        if len(self.stack) >= self.entries:
+            self.stack.pop(0)
+        self.stack.append(return_pc)
+
+    def pop(self) -> Optional[int]:
+        if self.stack:
+            return self.stack.pop()
+        return None
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return tuple(self.stack)
+
+    def restore(self, snap: Tuple[int, ...]) -> None:
+        self.stack = list(snap)
+
+
+@dataclass
+class BranchPrediction:
+    """One front-end prediction, kept with the dynamic instruction so the
+    predictor can be updated and recovered precisely."""
+
+    pc: int
+    taken: bool
+    target: int
+    history: int
+    is_cond: bool
+    checkpoint: Optional[tuple] = None
+
+
+@dataclass
+class BranchPredictorStats:
+    cond_predictions: int = 0
+    cond_mispredictions: int = 0
+    target_mispredictions: int = 0
+
+    @property
+    def cond_accuracy(self) -> float:
+        if not self.cond_predictions:
+            return 1.0
+        return 1.0 - self.cond_mispredictions / self.cond_predictions
+
+
+class BranchPredictor:
+    """Front-end prediction unit: direction, target, and return prediction."""
+
+    def __init__(self, config: Optional[BranchPredictorConfig] = None):
+        self.config = config or BranchPredictorConfig()
+        self.hybrid = HybridPredictor(self.config)
+        self.btb = BranchTargetBuffer(self.config.btb_entries)
+        self.ras = ReturnAddressStack(self.config.ras_entries)
+        self.history = 0
+        self.stats = BranchPredictorStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def call_depth(self) -> int:
+        """Current speculative call depth (RAS top-of-stack index)."""
+        return self.ras.depth
+
+    def snapshot(self) -> tuple:
+        """Checkpoint the speculative front-end state (history + RAS)."""
+        return self.history, self.ras.snapshot()
+
+    def restore(self, snap: tuple) -> None:
+        self.history, ras_snap = snap[0], snap[1]
+        self.ras.restore(ras_snap)
+
+    # ------------------------------------------------------------------
+    def predict(self, inst: StaticInst) -> BranchPrediction:
+        """Predict the next PC for a control-flow instruction at fetch."""
+        cls = inst.info.cls
+        pc = inst.pc
+        fallthrough = pc + INST_SIZE
+        checkpoint = self.snapshot()
+        if cls is OpClass.COND_BRANCH:
+            self.stats.cond_predictions += 1
+            taken = self.hybrid.predict(pc, self.history)
+            target = inst.target if taken else fallthrough
+            pred = BranchPrediction(pc, taken, target, self.history, True,
+                                    checkpoint)
+            self._push_history(taken)
+            return pred
+        if cls in (OpClass.DIRECT_JUMP,):
+            return BranchPrediction(pc, True, inst.target, self.history, False,
+                                    checkpoint)
+        if cls is OpClass.CALL_DIRECT:
+            self.ras.push(fallthrough)
+            return BranchPrediction(pc, True, inst.target, self.history, False,
+                                    checkpoint)
+        if cls is OpClass.CALL_INDIRECT:
+            self.ras.push(fallthrough)
+            target = self.btb.lookup(pc)
+            return BranchPrediction(pc, True,
+                                    target if target is not None else fallthrough,
+                                    self.history, False, checkpoint)
+        if cls is OpClass.INDIRECT_JUMP:
+            target = self.btb.lookup(pc)
+            return BranchPrediction(pc, True,
+                                    target if target is not None else fallthrough,
+                                    self.history, False, checkpoint)
+        if cls is OpClass.RETURN:
+            target = self.ras.pop()
+            if target is None:
+                target = self.btb.lookup(pc)
+            return BranchPrediction(pc, True,
+                                    target if target is not None else fallthrough,
+                                    self.history, False, checkpoint)
+        # Not a control-flow instruction: fall through.
+        return BranchPrediction(pc, False, fallthrough, self.history, False,
+                                checkpoint)
+
+    def _push_history(self, taken: bool) -> None:
+        mask = (1 << self.config.history_bits) - 1
+        self.history = ((self.history << 1) | (1 if taken else 0)) & mask
+
+    # ------------------------------------------------------------------
+    def resolve(self, inst: StaticInst, prediction: BranchPrediction,
+                taken: bool, target: int) -> bool:
+        """Update predictor state at branch resolution.
+
+        Returns True if the prediction was wrong (direction or target).
+        """
+        mispredicted = False
+        if prediction.is_cond:
+            if taken != prediction.taken:
+                mispredicted = True
+                self.stats.cond_mispredictions += 1
+            self.hybrid.update(inst.pc, prediction.history, taken)
+        if taken and target != prediction.target:
+            mispredicted = True
+            if not prediction.is_cond:
+                self.stats.target_mispredictions += 1
+        if taken and inst.info.cls in (OpClass.CALL_INDIRECT,
+                                       OpClass.INDIRECT_JUMP,
+                                       OpClass.RETURN):
+            self.btb.update(inst.pc, target)
+        return mispredicted

@@ -1,0 +1,27 @@
+"""Architectural (functional) execution substrate.
+
+This package provides the in-order, cycle-free reference implementation of
+the ISA: a sparse data memory, an architectural register file, a single-step
+executor and a run-to-completion emulator.  It is used in three roles:
+
+1. standalone functional simulation (fast correctness checks of workloads),
+2. the DIVA checker inside the out-of-order core -- every retiring
+   instruction is re-executed in order against precise architectural state,
+   which is exactly how the paper detects mis-integrations,
+3. the oracle for tests (the timing simulator must retire the same dynamic
+   instruction stream and produce the same architectural side effects).
+"""
+
+from repro.functional.memory import SparseMemory
+from repro.functional.state import ArchState
+from repro.functional.executor import StepResult, execute_step
+from repro.functional.emulator import Emulator, EmulationResult
+
+__all__ = [
+    "SparseMemory",
+    "ArchState",
+    "StepResult",
+    "execute_step",
+    "Emulator",
+    "EmulationResult",
+]

@@ -1,0 +1,114 @@
+"""Run-to-completion functional emulator.
+
+The emulator executes a :class:`~repro.isa.program.Program` in order,
+collecting instruction-mix statistics and program output.  It is the
+reference against which the timing simulator's retired state is validated in
+tests, and it doubles as a quick way to sanity-check synthetic workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.functional.executor import StepResult, execute_step
+from repro.functional.memory import SparseMemory
+from repro.functional.state import ArchState
+from repro.isa.opcodes import OpClass, is_load, is_store
+from repro.isa.program import Program
+
+
+class EmulationLimitExceeded(RuntimeError):
+    """Raised when a program does not halt within the instruction budget."""
+
+
+@dataclass
+class EmulationResult:
+    """Summary of a functional run."""
+
+    instructions: int
+    exit_code: Optional[int]
+    output: List[int]
+    state: ArchState
+    class_counts: Dict[OpClass, int] = field(default_factory=dict)
+    load_count: int = 0
+    store_count: int = 0
+    branch_count: int = 0
+    call_count: int = 0
+
+    @property
+    def halted(self) -> bool:
+        return self.state.halted
+
+
+class Emulator:
+    """In-order architectural executor for whole programs."""
+
+    def __init__(self, program: Program,
+                 state: Optional[ArchState] = None):
+        self.program = program
+        if state is None:
+            state = ArchState(memory=SparseMemory(program.data),
+                              pc=program.entry)
+        self.state = state
+
+    def step(self) -> Optional[StepResult]:
+        """Execute one instruction; returns ``None`` once halted or when the
+        PC runs off the end of the program."""
+        if self.state.halted:
+            return None
+        inst = self.program.at(self.state.pc)
+        if inst is None:
+            self.state.halted = True
+            return None
+        return execute_step(self.state, inst)
+
+    def run(self, max_instructions: int = 2_000_000,
+            strict: bool = True) -> EmulationResult:
+        """Run until the program exits or ``max_instructions`` is reached.
+
+        With ``strict=True`` (the default) exceeding the budget raises
+        :class:`EmulationLimitExceeded`; otherwise the partial result is
+        returned, which is convenient for sampling long-running kernels.
+        """
+        class_counts: Counter = Counter()
+        executed = 0
+        while executed < max_instructions:
+            result = self.step()
+            if result is None:
+                break
+            class_counts[result.inst.info.cls] += 1
+            executed += 1
+        else:
+            if strict and not self.state.halted:
+                raise EmulationLimitExceeded(
+                    f"{self.program.name}: did not halt within "
+                    f"{max_instructions} instructions")
+        loads = class_counts.get(OpClass.LOAD, 0)
+        stores = class_counts.get(OpClass.STORE, 0)
+        branches = (class_counts.get(OpClass.COND_BRANCH, 0)
+                    + class_counts.get(OpClass.DIRECT_JUMP, 0)
+                    + class_counts.get(OpClass.INDIRECT_JUMP, 0)
+                    + class_counts.get(OpClass.RETURN, 0)
+                    + class_counts.get(OpClass.CALL_DIRECT, 0)
+                    + class_counts.get(OpClass.CALL_INDIRECT, 0))
+        calls = (class_counts.get(OpClass.CALL_DIRECT, 0)
+                 + class_counts.get(OpClass.CALL_INDIRECT, 0))
+        return EmulationResult(
+            instructions=executed,
+            exit_code=self.state.exit_code,
+            output=list(self.state.output),
+            state=self.state,
+            class_counts=dict(class_counts),
+            load_count=loads,
+            store_count=stores,
+            branch_count=branches,
+            call_count=calls,
+        )
+
+
+def run_program(program: Program,
+                max_instructions: int = 2_000_000) -> EmulationResult:
+    """Convenience wrapper: functionally execute ``program`` from scratch."""
+    return Emulator(program).run(max_instructions=max_instructions)

@@ -1,0 +1,55 @@
+"""Sparse data-memory model.
+
+Data memory is a dictionary keyed by 8-byte-aligned addresses.  Workloads use
+aligned quadword/longword accesses, so a word-granularity model is
+sufficient; the memory hierarchy in :mod:`repro.memsys` models *timing* only
+and never holds values, mirroring SimpleScalar's split between functional and
+timing memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+WORD_SIZE = 8
+
+
+class SparseMemory:
+    """Word-granularity sparse memory with copy-on-read default of zero."""
+
+    def __init__(self, initial: Optional[Dict[int, int]] = None):
+        self._words: Dict[int, int] = {}
+        if initial:
+            for addr, value in initial.items():
+                self.write(addr, value)
+
+    @staticmethod
+    def align(addr: int) -> int:
+        """Round ``addr`` down to its containing word address."""
+        return addr & ~(WORD_SIZE - 1)
+
+    def read(self, addr: int):
+        """Read the word containing ``addr`` (0 if never written)."""
+        return self._words.get(self.align(addr), 0)
+
+    def write(self, addr: int, value) -> None:
+        """Write ``value`` to the word containing ``addr``."""
+        self._words[self.align(addr)] = value
+
+    def snapshot(self) -> Dict[int, int]:
+        """Return a copy of all written words (for checkpoint/compare)."""
+        return dict(self._words)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return self._words.items()
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __contains__(self, addr: int) -> bool:
+        return self.align(addr) in self._words
+
+    def copy(self) -> "SparseMemory":
+        mem = SparseMemory()
+        mem._words = dict(self._words)
+        return mem

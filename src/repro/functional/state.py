@@ -1,0 +1,64 @@
+"""Architectural machine state: register file, PC, memory and run status."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.functional.memory import SparseMemory
+from repro.isa.registers import (
+    NUM_LOGICAL_REGS,
+    REG_FP_BASE,
+    REG_SP,
+    is_zero_reg,
+)
+
+# Default stack placement used when a program does not set one up itself.
+DEFAULT_STACK_TOP = 0x0100_0000
+DEFAULT_GLOBAL_BASE = 0x0020_0000
+DEFAULT_HEAP_BASE = 0x0040_0000
+
+
+class ArchState:
+    """Precise architectural state of the machine.
+
+    Register reads of the hard-wired zero registers always return zero and
+    writes to them are discarded, matching the ISA definition.
+    """
+
+    def __init__(self, memory: Optional[SparseMemory] = None,
+                 pc: int = 0, stack_top: int = DEFAULT_STACK_TOP):
+        self.regs: List = [0] * NUM_LOGICAL_REGS
+        for i in range(REG_FP_BASE, NUM_LOGICAL_REGS):
+            self.regs[i] = 0.0
+        self.regs[REG_SP] = stack_top
+        self.pc = pc
+        self.memory = memory if memory is not None else SparseMemory()
+        self.halted = False
+        self.exit_code: Optional[int] = None
+        self.output: List[int] = []
+        self.inst_count = 0
+
+    def read_reg(self, index: int):
+        if is_zero_reg(index):
+            return 0.0 if index >= REG_FP_BASE else 0
+        return self.regs[index]
+
+    def write_reg(self, index: int, value) -> None:
+        if is_zero_reg(index):
+            return
+        self.regs[index] = value
+
+    def copy(self) -> "ArchState":
+        """Deep-copy the state (used for checkpointing in tests)."""
+        clone = ArchState(memory=self.memory.copy(), pc=self.pc)
+        clone.regs = list(self.regs)
+        clone.halted = self.halted
+        clone.exit_code = self.exit_code
+        clone.output = list(self.output)
+        clone.inst_count = self.inst_count
+        return clone
+
+    def registers_snapshot(self) -> Dict[int, object]:
+        """Non-zero architectural register values, for compact comparisons."""
+        return {i: v for i, v in enumerate(self.regs)
+                if not is_zero_reg(i) and v not in (0, 0.0)}

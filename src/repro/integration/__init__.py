@@ -1,0 +1,36 @@
+"""Register integration: the paper's primary contribution.
+
+The integration machinery lives entirely around the rename stage:
+
+* :class:`IntegrationTable` (IT) -- a set-associative table of
+  ``<operation, input physical registers (+generations), output physical
+  register (+generation)>`` tuples describing recently renamed operations.
+  Three index schemes are provided: PC (the original squash-reuse scheme),
+  opcode+immediate, and the paper's enhanced opcode+immediate+call-depth
+  scheme (extension 2).
+* :class:`IntegrationLogic` -- the rename-time operational-equivalence test
+  and entry creation, including *reverse* entries for stack stores and
+  stack-pointer adjustments (extension 3, speculative memory bypassing).
+* :class:`LoadIntegrationSuppressionPredictor` (LISP) -- a PC-indexed tag
+  cache that learns load mis-integrations detected by DIVA and suppresses
+  the offending loads in the future.
+* :class:`IntegrationConfig` -- one knob per extension plus the table
+  geometries, with presets matching the paper's Figure 4 configurations.
+"""
+
+from repro.integration.config import IntegrationConfig, IndexScheme, LispMode
+from repro.integration.table import IntegrationTable, ITEntry, ITStats
+from repro.integration.lisp import LoadIntegrationSuppressionPredictor
+from repro.integration.logic import IntegrationLogic, IntegrationDecision
+
+__all__ = [
+    "IntegrationConfig",
+    "IndexScheme",
+    "LispMode",
+    "IntegrationTable",
+    "ITEntry",
+    "ITStats",
+    "LoadIntegrationSuppressionPredictor",
+    "IntegrationLogic",
+    "IntegrationDecision",
+]

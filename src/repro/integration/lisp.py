@@ -1,0 +1,69 @@
+"""Load Integration Suppression Predictor (LISP).
+
+A PC-indexed, set-associative *tag cache*: a hit suppresses integration of
+the load.  PCs are inserted when DIVA detects a load mis-integration, so the
+predictor is deliberately over-biased toward suppression -- it prefers false
+suppressions (lost integrations) over repeated mis-integrations, each of
+which costs a full pipeline flush (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.isa.program import INST_SIZE
+
+
+@dataclass
+class LispStats:
+    queries: int = 0
+    suppressions: int = 0
+    insertions: int = 0
+
+
+class LoadIntegrationSuppressionPredictor:
+    """Set-associative tag cache of load PCs whose integration is suppressed."""
+
+    def __init__(self, entries: int = 1024, assoc: int = 2):
+        if entries <= 0:
+            raise ValueError("LISP needs at least one entry")
+        if assoc == 0 or assoc >= entries:
+            assoc = entries
+        if entries % assoc:
+            raise ValueError("LISP entry count must be a multiple of the "
+                             "associativity")
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        # each set maps pc -> last-touch tick (LRU)
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._tick = 0
+        self.stats = LispStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc // INST_SIZE) % self.num_sets
+
+    def suppresses(self, pc: int) -> bool:
+        """True if integration of the load at ``pc`` should be suppressed."""
+        self.stats.queries += 1
+        lisp_set = self._sets[self._index(pc)]
+        if pc in lisp_set:
+            self._tick += 1
+            lisp_set[pc] = self._tick
+            self.stats.suppressions += 1
+            return True
+        return False
+
+    def train(self, pc: int) -> None:
+        """Record a load mis-integration at ``pc``."""
+        lisp_set = self._sets[self._index(pc)]
+        self._tick += 1
+        self.stats.insertions += 1
+        if pc in lisp_set:
+            lisp_set[pc] = self._tick
+            return
+        if len(lisp_set) >= self.assoc:
+            victim = min(lisp_set, key=lisp_set.get)
+            del lisp_set[victim]
+        lisp_set[pc] = self._tick

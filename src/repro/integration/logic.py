@@ -1,0 +1,216 @@
+"""Rename-time integration logic.
+
+For every instruction being renamed the logic performs the operational
+equivalence test against the integration table: same operation (PC or
+opcode/immediate depending on the index scheme) applied to the same physical
+input registers at the same generations, with an integration-eligible output
+register.  On success the instruction *integrates*: its destination logical
+register is simply pointed at the existing physical register and the
+instruction bypasses the out-of-order execution engine.  On failure the
+instruction is renamed conventionally and new IT entries are created --
+including *reverse* entries for stack stores and stack-pointer adjustments
+(extension 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.integration.config import IntegrationConfig, IndexScheme, LispMode
+from repro.integration.lisp import LoadIntegrationSuppressionPredictor
+from repro.integration.table import IntegrationTable, ITEntry
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import (
+    Opcode,
+    is_cond_branch,
+    is_integrable,
+    is_load,
+    is_store,
+    load_counterpart,
+)
+from repro.isa.registers import REG_SP
+from repro.rename.physical import PhysicalRegisterFile
+
+# Callback used to approximate oracle load-mis-integration suppression: given
+# the dynamic load and the candidate entry, return True to allow integration.
+OracleCheck = Callable[[DynInst, ITEntry], bool]
+
+
+@dataclass
+class IntegrationDecision:
+    """Result of the rename-time integration test for one instruction."""
+
+    integrate: bool
+    entry: Optional[ITEntry] = None
+    suppressed_by_lisp: bool = False
+    suppressed_by_oracle: bool = False
+    tag_hit: bool = False
+
+    @property
+    def is_reverse(self) -> bool:
+        return bool(self.entry is not None and self.entry.is_reverse)
+
+
+NO_INTEGRATION = IntegrationDecision(integrate=False)
+
+
+class IntegrationLogic:
+    """The integration test plus IT entry creation."""
+
+    def __init__(self, config: IntegrationConfig, prf: PhysicalRegisterFile,
+                 table: Optional[IntegrationTable] = None,
+                 lisp: Optional[LoadIntegrationSuppressionPredictor] = None):
+        self.config = config
+        self.prf = prf
+        self.table = table or IntegrationTable(config.it_entries,
+                                               config.it_assoc,
+                                               config.index_scheme)
+        if lisp is None and config.lisp_mode is LispMode.REALISTIC:
+            lisp = LoadIntegrationSuppressionPredictor(config.lisp_entries,
+                                                       config.lisp_assoc)
+        self.lisp = lisp
+
+    # ------------------------------------------------------------------
+    # the integration test
+    # ------------------------------------------------------------------
+    def consider(self, dyn: DynInst, call_depth: int,
+                 oracle_allow: Optional[OracleCheck] = None
+                 ) -> IntegrationDecision:
+        """Decide whether ``dyn`` can integrate an existing result.
+
+        ``dyn`` must already have its source physical registers looked up
+        (``src_pregs``/``src_gens``).  ``oracle_allow`` implements oracle
+        load-suppression when the configuration asks for it.
+        """
+        config = self.config
+        if not config.enabled:
+            return NO_INTEGRATION
+        op = dyn.op
+        if not is_integrable(op):
+            return NO_INTEGRATION
+        inst = dyn.inst
+
+        if is_load(op) and config.lisp_mode is LispMode.REALISTIC and self.lisp:
+            if self.lisp.suppresses(inst.pc):
+                return IntegrationDecision(integrate=False,
+                                           suppressed_by_lisp=True)
+
+        candidates = self.table.lookup(inst.pc, op, inst.imm, call_depth)
+        if not candidates:
+            return NO_INTEGRATION
+
+        squash_only = not config.general_reuse
+        oracle_suppressed = False
+        for entry in candidates:
+            if not entry.inputs_match(dyn.src_pregs, dyn.src_gens):
+                continue
+            if is_cond_branch(op):
+                if entry.branch_outcome is None:
+                    continue
+            else:
+                if entry.out is None:
+                    continue
+                if not self.prf.integration_eligible(entry.out, entry.out_gen,
+                                                     squash_only=squash_only):
+                    continue
+            if (is_load(op) and config.lisp_mode is LispMode.ORACLE
+                    and oracle_allow is not None
+                    and not oracle_allow(dyn, entry)):
+                oracle_suppressed = True
+                continue
+            self.table.touch(entry)
+            return IntegrationDecision(integrate=True, entry=entry,
+                                       tag_hit=True,
+                                       suppressed_by_oracle=oracle_suppressed)
+        return IntegrationDecision(integrate=False, tag_hit=True,
+                                   suppressed_by_oracle=oracle_suppressed)
+
+    # ------------------------------------------------------------------
+    # entry creation (integration failed, or store reverse entries)
+    # ------------------------------------------------------------------
+    def create_entries(self, dyn: DynInst, call_depth: int) -> None:
+        """Create IT entries for an instruction that did not integrate.
+
+        Direct entries describe the instruction itself; reverse entries
+        describe its inverse (extension 3): a store creates the
+        complementary load entry, a stack-pointer ``lda`` creates the entry
+        for the opposite adjustment.
+        """
+        config = self.config
+        if not config.enabled:
+            return
+        inst = dyn.inst
+        op = dyn.op
+
+        if is_store(op):
+            self._maybe_create_store_reverse(dyn, call_depth)
+            return
+        if not is_integrable(op):
+            return
+
+        in1 = dyn.src_pregs[0] if len(dyn.src_pregs) > 0 else None
+        gen1 = dyn.src_gens[0] if len(dyn.src_gens) > 0 else 0
+        in2 = dyn.src_pregs[1] if len(dyn.src_pregs) > 1 else None
+        gen2 = dyn.src_gens[1] if len(dyn.src_gens) > 1 else 0
+
+        if is_cond_branch(op):
+            entry = ITEntry(inst.pc, op, inst.imm, in1, gen1, in2, gen2,
+                            out=None, out_gen=0, creator_seq=dyn.seq,
+                            call_depth=call_depth)
+            dyn.it_entry = self.table.insert(entry, call_depth)
+            return
+
+        if dyn.dest_preg is None:
+            return
+        entry = ITEntry(inst.pc, op, inst.imm, in1, gen1, in2, gen2,
+                        out=dyn.dest_preg, out_gen=dyn.dest_gen,
+                        creator_seq=dyn.seq, call_depth=call_depth)
+        dyn.it_entry = self.table.insert(entry, call_depth)
+
+        # Reverse entry for stack-pointer adjustments: lda sp, imm(sp)
+        # creates <lda/-imm, new_sp, -, old_sp>.
+        if (config.reverse and op is Opcode.LDA
+                and inst.rd == REG_SP and inst.ra == REG_SP):
+            rev = ITEntry(inst.pc, Opcode.LDA, -(inst.imm or 0),
+                          in1=dyn.dest_preg, gen1=dyn.dest_gen,
+                          in2=None, gen2=0,
+                          out=in1, out_gen=gen1,
+                          is_reverse=True, creator_seq=dyn.seq,
+                          call_depth=call_depth)
+            self.table.insert(rev, call_depth)
+
+    def _maybe_create_store_reverse(self, dyn: DynInst,
+                                    call_depth: int) -> None:
+        """Create the complementary-load entry for a (stack) store."""
+        config = self.config
+        if not config.reverse:
+            return
+        inst = dyn.inst
+        if config.reverse_sp_only and inst.rb != REG_SP:
+            return
+        # Store sources are [data, base]; the reverse load reads the base and
+        # produces the data register.
+        data_preg, base_preg = dyn.src_pregs[0], dyn.src_pregs[1]
+        data_gen, base_gen = dyn.src_gens[0], dyn.src_gens[1]
+        rev = ITEntry(inst.pc, load_counterpart(inst.op), inst.imm,
+                      in1=base_preg, gen1=base_gen, in2=None, gen2=0,
+                      out=data_preg, out_gen=data_gen,
+                      is_reverse=True, creator_seq=dyn.seq,
+                      call_depth=call_depth)
+        self.table.insert(rev, call_depth)
+
+    # ------------------------------------------------------------------
+    # feedback
+    # ------------------------------------------------------------------
+    def record_branch_outcome(self, dyn: DynInst, taken: bool) -> None:
+        """Fill in the resolved direction of a branch's IT entry so younger
+        instances can integrate (bypass execution and resolve early)."""
+        entry = dyn.it_entry
+        if entry is not None and entry.out is None:
+            entry.branch_outcome = taken
+
+    def train_lisp(self, pc: int) -> None:
+        """Record a load mis-integration detected by DIVA."""
+        if self.lisp is not None:
+            self.lisp.train(pc)

@@ -1,0 +1,188 @@
+"""The integration table (IT).
+
+The IT stores operation descriptor tuples of recently renamed instructions::
+
+    <operation (opcode/immediate or PC), in1 (+gen), in2 (+gen), out (+gen)>
+
+Lookups hash the instruction's index fields to a set and compare a minimal
+tag; the integration *logic* then performs the full operational-equivalence
+test (input physical registers and generations) on the returned candidates.
+Replacement within a set is LRU, which together with FIFO physical-register
+reclamation approximates the joint IT/state-vector management of the
+original squash-reuse design (paper Section 2.2, implementation issues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.integration.config import IndexScheme
+from repro.isa.opcodes import Opcode
+from repro.isa.program import INST_SIZE
+
+
+class ITEntry:
+    """One integration-table entry."""
+
+    __slots__ = ("pc", "opcode", "imm", "in1", "gen1", "in2", "gen2",
+                 "out", "out_gen", "branch_outcome", "is_reverse",
+                 "creator_seq", "call_depth", "lru")
+
+    def __init__(self, pc: int, opcode: Opcode, imm: Optional[int],
+                 in1: Optional[int], gen1: int,
+                 in2: Optional[int], gen2: int,
+                 out: Optional[int], out_gen: int,
+                 is_reverse: bool = False, creator_seq: int = 0,
+                 call_depth: int = 0):
+        self.pc = pc
+        self.opcode = opcode
+        self.imm = imm
+        self.in1 = in1
+        self.gen1 = gen1
+        self.in2 = in2
+        self.gen2 = gen2
+        self.out = out
+        self.out_gen = out_gen
+        self.branch_outcome: Optional[bool] = None
+        self.is_reverse = is_reverse
+        self.creator_seq = creator_seq
+        self.call_depth = call_depth
+        self.lru = 0
+
+    def inputs_match(self, pregs: List[int], gens: List[int]) -> bool:
+        """Operational-equivalence test on the input physical registers.
+
+        Both the register numbers and their generation counters must match
+        (the generation comparison is what suppresses register
+        mis-integrations after a register has been reallocated).
+        """
+        wanted = []
+        if self.in1 is not None:
+            wanted.append((self.in1, self.gen1))
+        if self.in2 is not None:
+            wanted.append((self.in2, self.gen2))
+        have = list(zip(pregs, gens))
+        return wanted == have
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "rev" if self.is_reverse else "dir"
+        return (f"<ITEntry {kind} {self.opcode.value}/{self.imm} "
+                f"in=({self.in1},{self.in2}) out={self.out}>")
+
+
+@dataclass
+class ITStats:
+    lookups: int = 0
+    tag_hits: int = 0
+    insertions: int = 0
+    reverse_insertions: int = 0
+    evictions: int = 0
+
+
+class IntegrationTable:
+    """Set-associative, LRU-replaced integration table."""
+
+    def __init__(self, entries: int = 1024, assoc: int = 4,
+                 scheme: IndexScheme = IndexScheme.OPCODE_IMM_CALLDEPTH):
+        if entries <= 0:
+            raise ValueError("IT needs at least one entry")
+        if assoc == 0 or assoc >= entries:
+            assoc = entries          # fully associative
+        if entries % assoc:
+            raise ValueError("IT entry count must be a multiple of the "
+                             "associativity")
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self.scheme = scheme
+        self._sets: List[List[ITEntry]] = [[] for _ in range(self.num_sets)]
+        self._tick = 0
+        self.stats = ITStats()
+
+    # ------------------------------------------------------------------
+    # index and tag functions (paper Section 2.3)
+    # ------------------------------------------------------------------
+    def index_of(self, pc: int, opcode: Opcode, imm: Optional[int],
+                 call_depth: int) -> int:
+        if self.scheme is IndexScheme.PC:
+            key = pc // INST_SIZE
+        else:
+            opcode_id = _opcode_id(opcode)
+            key = opcode_id ^ ((imm or 0) & 0xFFFF)
+            if self.scheme is IndexScheme.OPCODE_IMM_CALLDEPTH:
+                key ^= call_depth
+        return key % self.num_sets
+
+    def _tag_matches(self, entry: ITEntry, pc: int, opcode: Opcode,
+                     imm: Optional[int]) -> bool:
+        if self.scheme is IndexScheme.PC:
+            return entry.pc == pc
+        # Minimal tag: opcode + immediate (the call depth only augments the
+        # index, so instructions from different depths can still match
+        # within a set).
+        return entry.opcode is opcode and entry.imm == imm
+
+    # ------------------------------------------------------------------
+    def lookup(self, pc: int, opcode: Opcode, imm: Optional[int],
+               call_depth: int) -> List[ITEntry]:
+        """Return the candidate entries whose tag matches, most recently
+        used first."""
+        self.stats.lookups += 1
+        index = self.index_of(pc, opcode, imm, call_depth)
+        matches = [entry for entry in self._sets[index]
+                   if self._tag_matches(entry, pc, opcode, imm)]
+        if matches:
+            self.stats.tag_hits += 1
+            matches.sort(key=lambda e: e.lru, reverse=True)
+        return matches
+
+    def touch(self, entry: ITEntry) -> None:
+        """Refresh an entry's LRU position (called on successful integration)."""
+        self._tick += 1
+        entry.lru = self._tick
+
+    def insert(self, entry: ITEntry, call_depth: int) -> ITEntry:
+        """Insert ``entry``, evicting the LRU entry of its set if full."""
+        index = self.index_of(entry.pc, entry.opcode, entry.imm, call_depth)
+        cache_set = self._sets[index]
+        self._tick += 1
+        entry.lru = self._tick
+        self.stats.insertions += 1
+        if entry.is_reverse:
+            self.stats.reverse_insertions += 1
+        if len(cache_set) >= self.assoc:
+            victim = min(range(len(cache_set)), key=lambda i: cache_set[i].lru)
+            cache_set[victim] = entry
+            self.stats.evictions += 1
+        else:
+            cache_set.append(entry)
+        return entry
+
+    def invalidate_output(self, preg: int) -> int:
+        """Drop every entry whose output is ``preg``.
+
+        The paper notes this 'complete solution' to register mis-integration
+        is too expensive in hardware (associative search); it is provided
+        here for tests and the generation-counter ablation.
+        """
+        removed = 0
+        for cache_set in self._sets:
+            keep = [entry for entry in cache_set if entry.out != preg]
+            removed += len(cache_set) - len(keep)
+            cache_set[:] = keep
+        return removed
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __iter__(self):
+        for cache_set in self._sets:
+            yield from cache_set
+
+
+_OPCODE_IDS = {op: i for i, op in enumerate(Opcode)}
+
+
+def _opcode_id(op: Opcode) -> int:
+    return _OPCODE_IDS[op]

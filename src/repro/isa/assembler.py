@@ -1,0 +1,182 @@
+"""A small text assembler for the simulator's ISA.
+
+The assembler exists so tests and examples can express programs readably::
+
+    func:
+        lda   sp, -16(sp)
+        stq   ra, 0(sp)
+        addqi v0, a0, 1
+        ldq   ra, 0(sp)
+        lda   sp, 16(sp)
+        ret
+
+Syntax summary
+--------------
+* one instruction per line; ``#`` and ``;`` start comments
+* ``label:`` on its own line or before an instruction
+* register operands use Alpha names (``r0``-``r31``, ``f0``-``f31``, ``sp``,
+  ``ra``, ``t0``, ``s0``, ``a0``, ``v0``, ``zero``, ...)
+* memory operands are written ``disp(base)``
+* branch/call targets are labels or absolute integers
+* pseudo-instructions: ``mov rd, ra``; ``li rd, imm``
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.isa.opcodes import Opcode, OPINFO, OpClass, opcode_from_name
+from repro.isa.program import Program, ProgramBuilder
+
+
+class AssemblerError(ValueError):
+    """Raised for malformed assembly input."""
+
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+
+
+def _split_operands(text: str) -> List[str]:
+    if not text:
+        return []
+    return [tok.strip() for tok in text.split(",") if tok.strip()]
+
+
+def _parse_int(tok: str) -> Optional[int]:
+    try:
+        return int(tok, 0)
+    except ValueError:
+        return None
+
+
+def _parse_mem(tok: str):
+    """Parse ``disp(base)`` into ``(disp, base_name)`` or return ``None``."""
+    match = _MEM_RE.match(tok.replace(" ", ""))
+    if not match:
+        return None
+    disp = _parse_int(match.group(1))
+    if disp is None:
+        raise AssemblerError(f"bad displacement in {tok!r}")
+    return disp, match.group(2)
+
+
+def assemble(text: str, name: str = "program", entry=0) -> Program:
+    """Assemble ``text`` into a :class:`Program`."""
+    builder = ProgramBuilder(name=name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        # A label may share the line with an instruction.
+        while True:
+            parts = line.split(None, 1)
+            head = parts[0]
+            label_match = _LABEL_RE.match(head)
+            if label_match:
+                builder.label(label_match.group(1))
+                line = parts[1].strip() if len(parts) > 1 else ""
+                if not line:
+                    break
+                continue
+            break
+        if not line:
+            continue
+        _assemble_line(builder, line, lineno)
+    return builder.build(entry=entry)
+
+
+def _assemble_line(builder: ProgramBuilder, line: str, lineno: int) -> None:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    operands = _split_operands(parts[1] if len(parts) > 1 else "")
+    try:
+        if mnemonic == "mov":
+            _expect(operands, 2, line, lineno)
+            builder.mov(operands[0], operands[1])
+            return
+        if mnemonic == "li":
+            _expect(operands, 2, line, lineno)
+            imm = _require_int(operands[1], line, lineno)
+            builder.li(operands[0], imm)
+            return
+        op = opcode_from_name(mnemonic)
+    except ValueError as exc:
+        raise AssemblerError(f"line {lineno}: {exc}") from None
+    info = OPINFO[op]
+    cls = info.cls
+
+    if cls is OpClass.LOAD or op is Opcode.LDA:
+        _expect(operands, 2, line, lineno)
+        mem = _parse_mem(operands[1])
+        if mem is None:
+            raise AssemblerError(f"line {lineno}: expected disp(base): {line!r}")
+        disp, base = mem
+        builder.emit(op, rd=operands[0], ra=base, imm=disp)
+    elif cls is OpClass.STORE:
+        _expect(operands, 2, line, lineno)
+        mem = _parse_mem(operands[1])
+        if mem is None:
+            raise AssemblerError(f"line {lineno}: expected disp(base): {line!r}")
+        disp, base = mem
+        builder.emit(op, ra=operands[0], rb=base, imm=disp)
+    elif cls is OpClass.COND_BRANCH:
+        _expect(operands, 2, line, lineno)
+        builder.emit(op, ra=operands[0], target=_target(operands[1]))
+    elif cls is OpClass.DIRECT_JUMP:
+        _expect(operands, 1, line, lineno)
+        builder.emit(op, target=_target(operands[0]))
+    elif cls is OpClass.CALL_DIRECT:
+        if len(operands) == 1:
+            builder.bsr(_target(operands[0]))
+        else:
+            _expect(operands, 2, line, lineno)
+            builder.emit(op, rd=operands[0], target=_target(operands[1]))
+    elif cls in (OpClass.CALL_INDIRECT, OpClass.INDIRECT_JUMP):
+        reg = operands[-1].strip("()")
+        if cls is OpClass.CALL_INDIRECT and len(operands) == 2:
+            builder.emit(op, rd=operands[0], ra=reg)
+        else:
+            builder.emit(op, rd="ra" if cls is OpClass.CALL_INDIRECT else None,
+                         ra=reg)
+    elif cls is OpClass.RETURN:
+        reg = operands[0].strip("()") if operands else "ra"
+        builder.ret(reg)
+    elif cls is OpClass.SYSCALL:
+        code = _require_int(operands[0], line, lineno) if operands else 0
+        builder.syscall(code)
+    elif cls is OpClass.NOP:
+        builder.nop()
+    else:
+        # Register ALU / FP forms: rd, ra[, rb | imm]
+        if info.has_imm:
+            _expect(operands, 3, line, lineno)
+            imm = _require_int(operands[2], line, lineno)
+            builder.emit(op, rd=operands[0], ra=operands[1], imm=imm)
+        elif info.num_srcs == 1:
+            _expect(operands, 2, line, lineno)
+            builder.emit(op, rd=operands[0], ra=operands[1])
+        else:
+            _expect(operands, 3, line, lineno)
+            builder.emit(op, rd=operands[0], ra=operands[1], rb=operands[2])
+
+
+def _expect(operands: List[str], count: int, line: str, lineno: int) -> None:
+    if len(operands) != count:
+        raise AssemblerError(
+            f"line {lineno}: expected {count} operands in {line!r}, "
+            f"got {len(operands)}")
+
+
+def _require_int(tok: str, line: str, lineno: int) -> int:
+    value = _parse_int(tok)
+    if value is None:
+        raise AssemblerError(f"line {lineno}: expected integer, got {tok!r} "
+                             f"in {line!r}")
+    return value
+
+
+def _target(tok: str):
+    value = _parse_int(tok)
+    return value if value is not None else tok

@@ -1,0 +1,175 @@
+"""Static and dynamic instruction records.
+
+:class:`StaticInst` is the immutable program-level instruction (one per PC);
+:class:`DynInst` is a single dynamic instance flowing through the pipeline,
+carrying renamed registers, values and per-stage timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.isa.opcodes import Opcode, OpClass, OPINFO, is_store
+from repro.isa.registers import reg_name
+
+
+@dataclass(frozen=True)
+class StaticInst:
+    """One static (program) instruction.
+
+    Operand conventions (unified register indices, ``None`` when absent):
+
+    * ALU reg-reg:   ``rd = ra <op> rb``
+    * ALU reg-imm:   ``rd = ra <op> imm``           (includes ``lda``)
+    * load:          ``rd = mem[ra + imm]``
+    * store:         ``mem[rb + imm] = ra``          (``ra`` is the data reg)
+    * cond branch:   test ``ra`` against zero, branch to ``target``
+    * ``br``/``bsr``: direct jump/call to ``target`` (``bsr`` writes ``rd``)
+    * ``jsr``/``jmp``/``ret``: indirect control through ``ra``
+    * ``syscall``:   service selected by ``imm``
+    """
+
+    pc: int
+    op: Opcode
+    rd: Optional[int] = None
+    ra: Optional[int] = None
+    rb: Optional[int] = None
+    imm: Optional[int] = None
+    target: Optional[int] = None
+    label: Optional[str] = None
+
+    @property
+    def info(self):
+        return OPINFO[self.op]
+
+    def src_regs(self) -> Tuple[int, ...]:
+        """Logical source registers actually read by this instruction."""
+        srcs = []
+        if self.ra is not None:
+            srcs.append(self.ra)
+        if self.rb is not None:
+            srcs.append(self.rb)
+        return tuple(srcs)
+
+    def dest_reg(self) -> Optional[int]:
+        """Logical destination register, or ``None``."""
+        return self.rd if self.info.writes_dest else None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        info = self.info
+        parts = [self.op.value]
+        ops = []
+        if info.writes_dest and self.rd is not None:
+            ops.append(reg_name(self.rd))
+        if info.cls is OpClass.LOAD:
+            ops.append(f"{self.imm}({reg_name(self.ra)})")
+        elif is_store(self.op):
+            ops = [reg_name(self.ra), f"{self.imm}({reg_name(self.rb)})"]
+        elif info.cls is OpClass.COND_BRANCH:
+            ops = [reg_name(self.ra), f"@{self.target:#x}"]
+        elif info.cls in (OpClass.DIRECT_JUMP, OpClass.CALL_DIRECT):
+            ops.append(f"@{self.target:#x}")
+        elif info.cls in (OpClass.CALL_INDIRECT, OpClass.INDIRECT_JUMP,
+                          OpClass.RETURN):
+            ops.append(f"({reg_name(self.ra)})")
+        else:
+            if self.ra is not None:
+                ops.append(reg_name(self.ra))
+            if self.rb is not None:
+                ops.append(reg_name(self.rb))
+            if info.has_imm and self.imm is not None:
+                ops.append(str(self.imm))
+        return f"{self.pc:#06x}: {parts[0]} " + ", ".join(ops)
+
+
+class DynInst:
+    """A dynamic instruction instance in flight in the timing model.
+
+    The out-of-order core attaches renamed register identifiers, operand and
+    result values, integration metadata and per-stage cycle timestamps.  The
+    class uses ``__slots__`` because simulations create one object per
+    dynamic instruction.
+    """
+
+    __slots__ = (
+        "seq", "inst", "pc", "pred_next_pc", "next_pc", "pred_taken",
+        "call_depth",
+        # renaming
+        "src_pregs", "src_gens", "dest_preg", "dest_gen", "old_dest_preg",
+        "old_dest_gen",
+        "map_checkpoint",
+        # integration
+        "integrated", "reverse_integrated", "integration_distance",
+        "integration_status", "integration_refcount", "it_hit", "it_entry",
+        "suppressed_by_lisp",
+        # execution state
+        "src_values", "result", "eff_addr", "store_value",
+        "executed", "issued", "completed", "squashed",
+        "branch_taken", "branch_mispredicted", "mem_mispeculated",
+        "mis_integrated",
+        # timing
+        "fetch_cycle", "rename_cycle", "dispatch_cycle", "issue_cycle",
+        "complete_cycle", "retire_cycle",
+        # resources
+        "rs_index", "lsq_index", "rob_index",
+    )
+
+    def __init__(self, seq: int, inst: StaticInst):
+        self.seq = seq
+        self.inst = inst
+        self.pc = inst.pc
+        self.pred_next_pc = None
+        self.next_pc = None
+        self.pred_taken = False
+        self.call_depth = 0
+        self.src_pregs: List[int] = []
+        self.src_gens: List[int] = []
+        self.dest_preg: Optional[int] = None
+        self.dest_gen: int = 0
+        self.old_dest_preg: Optional[int] = None
+        self.old_dest_gen: int = 0
+        self.map_checkpoint = None
+        self.integrated = False
+        self.reverse_integrated = False
+        self.integration_distance = 0
+        self.integration_status = None
+        self.integration_refcount = 0
+        self.it_hit = False
+        self.it_entry = None
+        self.suppressed_by_lisp = False
+        self.src_values: List[int] = []
+        self.result = None
+        self.eff_addr = None
+        self.store_value = None
+        self.executed = False
+        self.issued = False
+        self.completed = False
+        self.squashed = False
+        self.branch_taken = False
+        self.branch_mispredicted = False
+        self.mem_mispeculated = False
+        self.mis_integrated = False
+        self.fetch_cycle = -1
+        self.rename_cycle = -1
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.retire_cycle = -1
+        self.rs_index = None
+        self.lsq_index = None
+        self.rob_index = None
+
+    @property
+    def op(self) -> Opcode:
+        return self.inst.op
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.integrated:
+            flags.append("INT")
+        if self.reverse_integrated:
+            flags.append("REV")
+        if self.squashed:
+            flags.append("SQ")
+        return f"<DynInst #{self.seq} {self.inst} {' '.join(flags)}>"

@@ -1,0 +1,151 @@
+"""Operational semantics shared by the functional emulator, the out-of-order
+execute stage and the DIVA checker.
+
+Keeping a single ``evaluate`` / ``branch_taken`` / ``effective_address``
+implementation guarantees that the timing core and the in-order checker agree
+on instruction behaviour, so any disagreement observed by DIVA is a genuine
+mis-integration (or wrong-path value) rather than a semantic divergence.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Opcode
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+
+def to_signed(value: int, bits: int = 64) -> int:
+    """Interpret an unsigned ``bits``-wide value as a two's-complement int."""
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def to_unsigned(value: int, bits: int = 64) -> int:
+    """Wrap a Python int into ``bits``-wide unsigned representation."""
+    return value & ((1 << bits) - 1)
+
+
+def _shift_amount(value: int) -> int:
+    return int(value) & 0x3F
+
+
+def evaluate(op: Opcode, a, b, imm):
+    """Compute the register result of a non-memory, non-control instruction.
+
+    ``a`` and ``b`` are the source operand values (``ra`` and ``rb``), ``imm``
+    the immediate.  Integer results are returned as 64-bit unsigned Python
+    ints; floating-point results as Python floats.
+
+    Wrong-path execution in the timing core can feed an integer operation a
+    register that last held a floating-point value; such operands are
+    truncated to integers (the result is discarded at the squash anyway).
+    """
+    if op is Opcode.ADDT:
+        return float(a) + float(b)
+    if op is Opcode.SUBT:
+        return float(a) - float(b)
+    if op is Opcode.MULT:
+        return float(a) * float(b)
+    if op is Opcode.DIVT:
+        return float(a) / float(b) if b else float("inf")
+    if op is Opcode.CPYS:
+        return float(a)
+    if op is Opcode.ITOFT:
+        return float(to_signed(int(a)))
+    if op is Opcode.FTOIT:
+        return to_unsigned(int(a))
+    if isinstance(a, float):
+        a = int(a)
+    if isinstance(b, float):
+        b = int(b)
+    if op is Opcode.ADDQ:
+        return (a + b) & MASK64
+    if op is Opcode.SUBQ:
+        return (a - b) & MASK64
+    if op is Opcode.MULQ:
+        return (to_signed(a) * to_signed(b)) & MASK64
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return (a ^ b) & MASK64
+    if op is Opcode.SLL:
+        return (a << _shift_amount(b)) & MASK64
+    if op is Opcode.SRL:
+        return (a & MASK64) >> _shift_amount(b)
+    if op is Opcode.SRA:
+        return to_unsigned(to_signed(a) >> _shift_amount(b))
+    if op is Opcode.CMPEQ:
+        return 1 if a == b else 0
+    if op is Opcode.CMPLT:
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if op is Opcode.CMPLE:
+        return 1 if to_signed(a) <= to_signed(b) else 0
+    if op is Opcode.CMPULT:
+        return 1 if (a & MASK64) < (b & MASK64) else 0
+    if op in (Opcode.ADDQI, Opcode.LDA):
+        return (a + imm) & MASK64
+    if op is Opcode.SUBQI:
+        return (a - imm) & MASK64
+    if op is Opcode.MULQI:
+        return (to_signed(a) * imm) & MASK64
+    if op is Opcode.ANDI:
+        return a & (imm & MASK64)
+    if op is Opcode.ORI:
+        return a | (imm & MASK64)
+    if op is Opcode.XORI:
+        return (a ^ imm) & MASK64
+    if op is Opcode.SLLI:
+        return (a << _shift_amount(imm)) & MASK64
+    if op is Opcode.SRLI:
+        return (a & MASK64) >> _shift_amount(imm)
+    if op is Opcode.SRAI:
+        return to_unsigned(to_signed(a) >> _shift_amount(imm))
+    if op is Opcode.CMPEQI:
+        return 1 if to_signed(a) == imm else 0
+    if op is Opcode.CMPLTI:
+        return 1 if to_signed(a) < imm else 0
+    if op is Opcode.CMPLEI:
+        return 1 if to_signed(a) <= imm else 0
+    raise ValueError(f"evaluate() does not handle opcode {op}")
+
+
+def branch_taken(op: Opcode, a) -> bool:
+    """Resolve the direction of a conditional branch with condition value ``a``."""
+    sa = to_signed(int(a))
+    if op is Opcode.BEQ:
+        return sa == 0
+    if op is Opcode.BNE:
+        return sa != 0
+    if op is Opcode.BLT:
+        return sa < 0
+    if op is Opcode.BLE:
+        return sa <= 0
+    if op is Opcode.BGT:
+        return sa > 0
+    if op is Opcode.BGE:
+        return sa >= 0
+    raise ValueError(f"{op} is not a conditional branch")
+
+
+def effective_address(base, imm: int) -> int:
+    """Compute a load/store effective address."""
+    return (int(base) + int(imm)) & MASK64
+
+
+def narrow_load_value(op: Opcode, value):
+    """Apply the load-width semantics (``ldl`` sign-extends 32 bits)."""
+    if op is Opcode.LDL:
+        return to_unsigned(to_signed(int(value) & MASK32, 32))
+    return value
+
+
+def narrow_store_value(op: Opcode, value):
+    """Apply the store-width semantics (``stl`` keeps the low 32 bits)."""
+    if op is Opcode.STL:
+        return int(value) & MASK32
+    return value

@@ -1,0 +1,62 @@
+"""Translation lookaside buffer timing model (hardware-filled)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry and miss penalty of a TLB."""
+
+    name: str
+    entries: int
+    associativity: int
+    page_bytes: int = 8192
+    miss_latency: int = 30
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.entries // self.associativity
+        if sets <= 0:
+            raise ValueError(f"{self.name}: too few entries for associativity")
+        return sets
+
+
+@dataclass
+class TLBStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """Set-associative TLB; misses are filled by hardware in a fixed latency."""
+
+    def __init__(self, config: TLBConfig):
+        self.config = config
+        self.stats = TLBStats()
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(config.num_sets)]
+
+    def access(self, addr: int, cycle: int) -> Tuple[int, bool]:
+        """Translate ``addr``; returns ``(extra_latency, hit)``."""
+        self.stats.accesses += 1
+        page = addr // self.config.page_bytes
+        index = page % self.config.num_sets
+        tlb_set = self._sets[index]
+        if page in tlb_set:
+            tlb_set[page] = cycle
+            return 0, True
+        self.stats.misses += 1
+        if len(tlb_set) >= self.config.associativity:
+            victim = min(tlb_set, key=lambda p: tlb_set[p])
+            del tlb_set[victim]
+        tlb_set[page] = cycle
+        return self.config.miss_latency, False
+
+    def reset_stats(self) -> None:
+        self.stats = TLBStats()

@@ -1,0 +1,47 @@
+"""Workload programs for the simulator.
+
+The paper evaluates on the SPEC2000 integer benchmarks compiled for Alpha.
+Those binaries (and an Alpha toolchain) are unavailable here, so this package
+provides two substitutes:
+
+* :mod:`repro.workloads.kernels` -- small hand-written micro-kernels
+  (counted loops, recursive Fibonacci, array reductions, pointer chasing,
+  call-heavy save/restore chains) used by tests and examples;
+* :mod:`repro.workloads.spec_like` -- parameterised synthetic programs, one
+  per SPEC2000-INT benchmark name, that reproduce the *structural* properties
+  integration depends on: call intensity and call-graph depth, stack
+  save/restore density, un-hoisted loop-invariant and program-constant
+  computation, pointer chasing, and data-dependent (hard-to-predict)
+  branches.
+
+Every workload is a plain :class:`~repro.isa.program.Program`, so it runs on
+both the functional emulator and the timing core.
+"""
+
+from repro.workloads.kernels import (
+    counted_loop,
+    array_sum,
+    fib_recursive,
+    pointer_chase,
+    save_restore_chain,
+    matrix_smooth,
+)
+from repro.workloads.spec_like import (
+    WorkloadSpec,
+    SPEC_WORKLOADS,
+    build_workload,
+    workload_names,
+)
+
+__all__ = [
+    "counted_loop",
+    "array_sum",
+    "fib_recursive",
+    "pointer_chase",
+    "save_restore_chain",
+    "matrix_smooth",
+    "WorkloadSpec",
+    "SPEC_WORKLOADS",
+    "build_workload",
+    "workload_names",
+]

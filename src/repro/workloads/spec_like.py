@@ -1,0 +1,463 @@
+"""Synthetic SPEC2000-integer-like workloads.
+
+The real SPEC2000 binaries are not available in this environment, so each
+benchmark name from the paper's Figure 4 maps to a *synthetic* program that
+reproduces the structural properties register integration responds to:
+
+* **call intensity and call-graph depth** -- each function call saves and
+  restores ``ra`` and callee-saved registers through the stack frame, the
+  food source for reverse integration (speculative memory bypassing);
+* **dynamic redundancy** -- program-constant initialisations and un-hoisted
+  loop-invariant address computations repeated across invocations of the
+  same function, the food source for general reuse;
+* **static redundancy across functions** -- loop-control and address idioms
+  with identical opcode/immediate shapes in different functions, which only
+  opcode indexing can match;
+* **hard-to-predict branches** on pseudo-random data, which create the
+  squashes that squash reuse feeds on;
+* **pointer chasing** and large data footprints for the memory-bound
+  benchmarks (``mcf``), where integration helps least.
+
+Every workload is generated deterministically from its seed, so simulation
+results are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.isa.program import Program, ProgramBuilder
+
+GLOBAL_BASE = 0x0020_0000
+GLOBAL_WORDS = 512
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters describing one synthetic benchmark."""
+
+    name: str
+    seed: int
+    description: str
+    # Call structure.
+    num_funcs: int = 6
+    call_depth: int = 3
+    calls_per_body: int = 2
+    callee_saves: int = 2
+    caller_saves: int = 1
+    # Per-function body composition.
+    alu_ops: int = 6
+    const_inits: int = 3
+    loads: int = 3
+    stores: int = 2
+    fp_ops: int = 0
+    inner_loop_iters: int = 0
+    inner_loop_body: int = 4
+    noisy_branches: int = 1
+    pointer_chase: int = 0
+    # Main loop.
+    outer_iters: int = 40
+
+    def scaled(self, scale: float) -> "WorkloadSpec":
+        """Scale the dynamic length by adjusting the outer iteration count."""
+        iters = max(1, int(round(self.outer_iters * scale)))
+        return replace(self, outer_iters=iters)
+
+
+class _FunctionPlan:
+    """Static plan for one generated function (level + callees)."""
+
+    def __init__(self, name: str, level: int, callees: List[str]):
+        self.name = name
+        self.level = level
+        self.callees = callees
+
+
+class _Generator:
+    """Emits one synthetic program from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.builder = ProgramBuilder(name=spec.name)
+        self.plans = self._plan_functions()
+
+    # ------------------------------------------------------------------
+    def _plan_functions(self) -> List[_FunctionPlan]:
+        spec = self.spec
+        plans: List[_FunctionPlan] = []
+        levels: Dict[int, List[str]] = {}
+        for i in range(spec.num_funcs):
+            level = min(spec.call_depth - 1,
+                        i * spec.call_depth // max(1, spec.num_funcs))
+            name = f"func_{i}"
+            levels.setdefault(level, []).append(name)
+            plans.append(_FunctionPlan(name, level, []))
+        for plan in plans:
+            lower = levels.get(plan.level + 1, [])
+            if not lower:
+                continue
+            count = min(len(lower), spec.calls_per_body)
+            plan.callees = [self.rng.choice(lower) for _ in range(count)]
+        return plans
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Program:
+        self._emit_main()
+        for plan in self.plans:
+            self._emit_function(plan)
+        return self.builder.build(entry="main")
+
+    # ------------------------------------------------------------------
+    def _emit_main(self) -> None:
+        b = self.builder
+        spec = self.spec
+        top_level = [p.name for p in self.plans if p.level == 0]
+        b.label("main")
+        b.li("gp", GLOBAL_BASE)
+        # Fill the global array with a pseudo-random pattern so that
+        # data-dependent branches are genuinely hard to predict.
+        b.li("t0", 0)
+        b.li("t1", GLOBAL_WORDS)
+        b.mov("t2", "gp")
+        b.li("t3", 0x9E3779B97F4A7C15 & 0xFFFF)
+        b.li("t4", 12345)
+        b.label("main_init")
+        b.rr("mulq", "t4", "t4", "t3")
+        b.ri("addqi", "t4", "t4", 0x3D)
+        b.ri("andi", "t5", "t4", 0xFFFF)
+        b.stq("t5", 0, "t2")
+        b.ri("addqi", "t2", "t2", 8)
+        b.ri("addqi", "t0", "t0", 1)
+        b.rr("cmplt", "t6", "t0", "t1")
+        b.cbr("bne", "t6", "main_init")
+        # Outer loop calling the top-level functions.
+        b.li("s0", 0)                        # checksum accumulator
+        b.li("s1", spec.outer_iters)         # loop counter
+        b.label("main_loop")
+        for idx, callee in enumerate(top_level):
+            b.mov("a0", "s1")
+            if idx:
+                b.ri("addqi", "a0", "a0", idx * 3)
+            b.bsr(callee)
+            b.rr("addq", "s0", "s0", "v0")
+        b.ri("subqi", "s1", "s1", 1)
+        b.cbr("bgt", "s1", "main_loop")
+        b.ri("andi", "s0", "s0", 0xFFFFFF)
+        b.mov("a0", "s0")
+        b.syscall(1)
+        b.syscall(0)
+
+    # ------------------------------------------------------------------
+    def _emit_function(self, plan: _FunctionPlan) -> None:
+        b = self.builder
+        spec = self.spec
+        rng = self.rng
+        makes_calls = bool(plan.callees)
+        saves = ["ra"] if makes_calls else []
+        saves += [f"s{i}" for i in range(2, 2 + spec.callee_saves)]
+        frame = 16 + 8 * len(saves)
+
+        b.label(plan.name)
+        if saves:
+            b.lda("sp", -frame, "sp")
+            for slot, reg in enumerate(saves):
+                b.stq(reg, 8 * slot, "sp")
+
+        # Accumulator lives in a callee-saved register when the body makes
+        # calls (so it survives them), otherwise in a temporary.
+        acc = "s2" if (makes_calls and spec.callee_saves > 0) else "t7"
+        arg = "s3" if (makes_calls and spec.callee_saves > 1) else "t6"
+        b.mov(acc, "a0")
+        b.mov(arg, "a0")
+
+        self._emit_const_inits(plan, acc)
+        self._emit_alu_block(acc, spec.alu_ops)
+        self._emit_memory_block(plan, acc)
+        if spec.inner_loop_iters:
+            self._emit_inner_loop(plan, acc)
+        if spec.pointer_chase:
+            self._emit_pointer_chase(plan, acc)
+        if spec.fp_ops:
+            self._emit_fp_block(acc)
+        self._emit_noisy_branches(plan, acc)
+
+        # Calls to lower-level functions.
+        for call_idx, callee in enumerate(plan.callees):
+            b.ri("srai", "a0", arg, 1)
+            if call_idx:
+                b.ri("addqi", "a0", "a0", call_idx)
+            b.bsr(callee)
+            b.rr("addq", acc, acc, "v0")
+
+        b.mov("v0", acc)
+        if saves:
+            for slot, reg in enumerate(reversed(saves)):
+                b.ldq(reg, 8 * (len(saves) - 1 - slot), "sp")
+            b.lda("sp", frame, "sp")
+        b.ret()
+
+    # ------------------------------------------------------------------
+    def _function_offsets(self, plan: _FunctionPlan) -> List[int]:
+        """A small per-function pool of global-array offsets.
+
+        Drawing several static loads from the same pool creates *different
+        static instructions with identical opcode/immediate/input
+        combinations* -- the cross-static redundancy that only opcode
+        indexing (extension 2) can exploit."""
+        if not hasattr(plan, "offsets"):
+            pool_size = max(2, 1 + self.spec.const_inits // 2)
+            plan.offsets = [8 * self.rng.randrange(0, GLOBAL_WORDS // 2)
+                            for _ in range(pool_size)]
+        return plan.offsets
+
+    def _emit_const_inits(self, plan: _FunctionPlan, acc: str) -> None:
+        """Program-constant and global-address computations: the same values
+        are recomputed on every invocation, so general reuse integrates them."""
+        b = self.builder
+        rng = self.rng
+        offsets = self._function_offsets(plan)
+        for i in range(self.spec.const_inits):
+            choice = rng.random()
+            if choice < 0.4:
+                b.li("t0", rng.randrange(1, 200))
+                b.rr("addq", acc, acc, "t0")
+            else:
+                # Un-hoisted global load; offsets recur across static
+                # instructions of the same function.
+                offset = rng.choice(offsets)
+                b.ldq("t2", offset, "gp")
+                b.rr("xor", acc, acc, "t2")
+
+    def _emit_alu_block(self, acc: str, count: int) -> None:
+        b = self.builder
+        rng = self.rng
+        ops = ["addq", "subq", "xor", "and", "or"]
+        imm_ops = ["addqi", "subqi", "xori", "slli", "srli"]
+        b.mov("t0", acc)
+        for i in range(count):
+            if rng.random() < 0.5:
+                b.rr(rng.choice(ops), "t0", "t0", acc)
+            else:
+                imm_op = rng.choice(imm_ops)
+                imm = rng.randrange(1, 7) if imm_op in ("slli", "srli") \
+                    else rng.randrange(1, 64)
+                b.ri(imm_op, "t0", "t0", imm)
+        b.rr("addq", acc, acc, "t0")
+
+    def _emit_memory_block(self, plan: _FunctionPlan, acc: str) -> None:
+        """Loads and stores against the shared global array."""
+        b = self.builder
+        rng = self.rng
+        spec = self.spec
+        offsets = self._function_offsets(plan)
+        for i in range(spec.loads):
+            kind = rng.random()
+            if kind < 0.3:
+                # Redundant load of (mostly) read-only data: reusable.
+                b.ldq("t2", rng.choice(offsets), "gp")
+            elif kind < 0.6:
+                # Data-dependent indexed load: base register changes every
+                # invocation, so it cannot integrate.
+                b.ri("andi", "t1", acc, (GLOBAL_WORDS - 1) * 8)
+                b.rr("addq", "t1", "gp", "t1")
+                b.ldq("t2", 0, "t1")
+            else:
+                b.ldq("t2", 8 * rng.randrange(0, GLOBAL_WORDS), "gp")
+            b.rr("addq", acc, acc, "t2")
+        for i in range(spec.stores):
+            # Half the stores write back into the loaded region, so loaded
+            # values actually change over time (and stale reuse is punished).
+            if rng.random() < 0.5:
+                offset = rng.choice(offsets)
+            else:
+                offset = 8 * rng.randrange(GLOBAL_WORDS, GLOBAL_WORDS + 64)
+            b.ri("andi", "t3", acc, 0xFF)
+            b.stq("t3", offset, "gp")
+
+    def _emit_inner_loop(self, plan: _FunctionPlan, acc: str) -> None:
+        b = self.builder
+        rng = self.rng
+        spec = self.spec
+        label = f"{plan.name}_loop"
+        # Loop-invariant global load inside the loop (un-hoisted).
+        base_off = self.rng.choice(self._function_offsets(plan))
+        b.li("t0", spec.inner_loop_iters)
+        b.label(label)
+        b.ldq("t2", base_off, "gp")           # invariant load: integrates
+        b.rr("addq", acc, acc, "t2")
+        for i in range(spec.inner_loop_body):
+            b.ri("addqi", acc, acc, i + 1)
+        b.ri("subqi", "t0", "t0", 1)
+        b.cbr("bgt", "t0", label)
+
+    def _emit_pointer_chase(self, plan: _FunctionPlan, acc: str) -> None:
+        """Serial dependent loads through the global array (mcf-like)."""
+        b = self.builder
+        spec = self.spec
+        label = f"{plan.name}_chase"
+        b.li("t0", spec.pointer_chase)
+        b.mov("t1", "gp")
+        b.label(label)
+        b.ldq("t2", 0, "t1")
+        b.ri("andi", "t2", "t2", (GLOBAL_WORDS - 1) * 8)
+        b.rr("addq", "t1", "gp", "t2")
+        b.rr("addq", acc, acc, "t2")
+        b.ri("subqi", "t0", "t0", 1)
+        b.cbr("bgt", "t0", label)
+
+    def _emit_fp_block(self, acc: str) -> None:
+        b = self.builder
+        spec = self.spec
+        b.rr("itoft", "f1", acc, "zero")
+        b.rr("itoft", "f2", "gp", "zero")
+        for i in range(spec.fp_ops):
+            op = ("addt", "mult", "subt")[i % 3]
+            b.rr(op, "f1", "f1", "f2")
+        b.rr("ftoit", "t5", "f1", "zero")
+        b.ri("andi", "t5", "t5", 0xFF)
+        b.rr("addq", acc, acc, "t5")
+
+    def _emit_noisy_branches(self, plan: _FunctionPlan, acc: str) -> None:
+        """Branches on pseudo-random array data (hard to predict)."""
+        b = self.builder
+        rng = self.rng
+        for i in range(self.spec.noisy_branches):
+            skip = f"{plan.name}_skip{i}"
+            offset = 8 * rng.randrange(0, GLOBAL_WORDS)
+            b.ldq("t4", offset, "gp")
+            b.ri("andi", "t4", "t4", 1)
+            b.cbr("beq", "t4", skip)
+            # Re-convergent work: executed only when the branch falls through,
+            # and re-fetched after a misprediction (squash-reuse fodder).
+            b.ri("addqi", acc, acc, 13 + i)
+            b.ri("xori", acc, acc, 5)
+            b.label(skip)
+            b.ri("addqi", acc, acc, 1)
+
+
+# ----------------------------------------------------------------------
+# The benchmark suite (names follow the paper's Figure 4).
+# ----------------------------------------------------------------------
+SPEC_WORKLOADS: Dict[str, WorkloadSpec] = {}
+
+
+def _register(spec: WorkloadSpec) -> None:
+    SPEC_WORKLOADS[spec.name] = spec
+
+
+_register(WorkloadSpec(
+    name="bzip2", seed=101, outer_iters=26,
+    description="loop-heavy compressor: few calls, long predictable loops",
+    num_funcs=3, call_depth=2, calls_per_body=1, callee_saves=1,
+    alu_ops=10, const_inits=2, loads=4, stores=3,
+    inner_loop_iters=10, inner_loop_body=5, noisy_branches=2))
+_register(WorkloadSpec(
+    name="crafty", seed=102, outer_iters=16,
+    description="chess search: deep call tree, repeated evaluation idioms",
+    num_funcs=10, call_depth=4, calls_per_body=2, callee_saves=3,
+    alu_ops=8, const_inits=5, loads=3, stores=1,
+    noisy_branches=2))
+_register(WorkloadSpec(
+    name="eon.c", seed=103, outer_iters=14,
+    description="ray tracer (cook): call-heavy with FP and memory traffic",
+    num_funcs=8, call_depth=3, calls_per_body=2, callee_saves=2,
+    alu_ops=5, const_inits=3, loads=5, stores=3, fp_ops=4,
+    noisy_branches=1))
+_register(WorkloadSpec(
+    name="eon.k", seed=104, outer_iters=14,
+    description="ray tracer (kajiya): call-heavy with FP and memory traffic",
+    num_funcs=8, call_depth=3, calls_per_body=2, callee_saves=2,
+    alu_ops=5, const_inits=3, loads=6, stores=3, fp_ops=5,
+    noisy_branches=1))
+_register(WorkloadSpec(
+    name="eon.r", seed=105, outer_iters=14,
+    description="ray tracer (rushmeier): call-heavy with FP and memory traffic",
+    num_funcs=8, call_depth=3, calls_per_body=2, callee_saves=2,
+    alu_ops=6, const_inits=3, loads=5, stores=4, fp_ops=4,
+    noisy_branches=1))
+_register(WorkloadSpec(
+    name="gap", seed=106, outer_iters=16,
+    description="group theory interpreter: call-intensive, constant-rich",
+    num_funcs=8, call_depth=4, calls_per_body=2, callee_saves=2,
+    alu_ops=6, const_inits=5, loads=4, stores=2,
+    noisy_branches=1))
+_register(WorkloadSpec(
+    name="gcc", seed=107, outer_iters=12,
+    description="compiler: large irregular call graph, branchy",
+    num_funcs=12, call_depth=4, calls_per_body=2, callee_saves=3,
+    alu_ops=7, const_inits=4, loads=4, stores=2,
+    noisy_branches=3))
+_register(WorkloadSpec(
+    name="gzip", seed=108, outer_iters=28,
+    description="LZ77 compressor: tight loops, few calls",
+    num_funcs=3, call_depth=2, calls_per_body=1, callee_saves=1,
+    alu_ops=12, const_inits=2, loads=4, stores=3,
+    inner_loop_iters=12, inner_loop_body=4, noisy_branches=2))
+_register(WorkloadSpec(
+    name="mcf", seed=109, outer_iters=18,
+    description="network simplex: pointer chasing, memory bound",
+    num_funcs=4, call_depth=2, calls_per_body=1, callee_saves=1,
+    alu_ops=4, const_inits=2, loads=6, stores=2,
+    pointer_chase=20, noisy_branches=2))
+_register(WorkloadSpec(
+    name="parser", seed=110, outer_iters=18,
+    description="link grammar parser: moderate calls, branchy",
+    num_funcs=6, call_depth=3, calls_per_body=2, callee_saves=2,
+    alu_ops=7, const_inits=3, loads=4, stores=2,
+    noisy_branches=3))
+_register(WorkloadSpec(
+    name="perl.d", seed=111, outer_iters=14,
+    description="perl interpreter (diffmail): deep dispatch call chains",
+    num_funcs=10, call_depth=5, calls_per_body=2, callee_saves=3,
+    alu_ops=6, const_inits=5, loads=4, stores=2,
+    noisy_branches=2))
+_register(WorkloadSpec(
+    name="perl.s", seed=112, outer_iters=14,
+    description="perl interpreter (splitmail): deep dispatch call chains",
+    num_funcs=10, call_depth=5, calls_per_body=2, callee_saves=3,
+    alu_ops=6, const_inits=6, loads=4, stores=2,
+    noisy_branches=1))
+_register(WorkloadSpec(
+    name="twolf", seed=113, outer_iters=20,
+    description="placement/route: loops with some FP and moderate calls",
+    num_funcs=5, call_depth=2, calls_per_body=1, callee_saves=2,
+    alu_ops=8, const_inits=3, loads=4, stores=3, fp_ops=2,
+    inner_loop_iters=6, inner_loop_body=3, noisy_branches=2))
+_register(WorkloadSpec(
+    name="vortex", seed=114, outer_iters=12,
+    description="object database: extremely call-intensive, save/restore heavy",
+    num_funcs=12, call_depth=5, calls_per_body=3, callee_saves=4,
+    alu_ops=5, const_inits=4, loads=5, stores=3,
+    noisy_branches=1))
+_register(WorkloadSpec(
+    name="vpr.p", seed=115, outer_iters=24,
+    description="FPGA place: loop-heavy, few calls, some FP",
+    num_funcs=4, call_depth=2, calls_per_body=1, callee_saves=1,
+    alu_ops=9, const_inits=2, loads=5, stores=3, fp_ops=2,
+    inner_loop_iters=8, inner_loop_body=4, noisy_branches=2))
+_register(WorkloadSpec(
+    name="vpr.r", seed=116, outer_iters=24,
+    description="FPGA route: loop-heavy, pointer-ish, few calls",
+    num_funcs=4, call_depth=2, calls_per_body=1, callee_saves=1,
+    alu_ops=9, const_inits=2, loads=6, stores=2,
+    inner_loop_iters=8, inner_loop_body=3, noisy_branches=3))
+
+
+def workload_names() -> List[str]:
+    """Names of all registered synthetic benchmarks (paper Figure 4 order)."""
+    return list(SPEC_WORKLOADS.keys())
+
+
+def build_workload(name: str, scale: float = 1.0) -> Program:
+    """Build the named benchmark, optionally scaling its dynamic length."""
+    try:
+        spec = SPEC_WORKLOADS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; known: "
+                         f"{', '.join(workload_names())}") from None
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    return _Generator(spec).generate()

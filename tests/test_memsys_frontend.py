@@ -1,0 +1,217 @@
+"""Unit tests for the memory hierarchy and the branch-prediction front end."""
+
+import pytest
+
+from repro.frontend import (
+    BimodalPredictor,
+    BranchPredictor,
+    BranchPredictorConfig,
+    BranchTargetBuffer,
+    GSharePredictor,
+    HybridPredictor,
+    ReturnAddressStack,
+)
+from repro.isa import Opcode, StaticInst
+from repro.memsys import (
+    Cache,
+    CacheConfig,
+    MemoryHierarchy,
+    MemSysConfig,
+    TLB,
+    TLBConfig,
+)
+
+
+def small_cache(**overrides):
+    params = dict(name="test", size_bytes=1024, line_bytes=32,
+                  associativity=2, hit_latency=2)
+    params.update(overrides)
+    return Cache(CacheConfig(**params))
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        latency, hit = cache.access(0x100, cycle=0, fill_latency=50)
+        assert not hit and latency == 52
+        latency, hit = cache.access(0x104, cycle=60)      # same line
+        assert hit and latency == 2
+
+    def test_lru_eviction(self):
+        cache = small_cache(size_bytes=64, line_bytes=32, associativity=2)
+        # one set of two ways
+        cache.access(0x000, 0)
+        cache.access(0x020, 1)
+        cache.access(0x000, 2)               # touch line 0
+        cache.access(0x040, 3)               # evicts line at 0x020 (LRU)
+        assert cache.probe(0x000)
+        assert not cache.probe(0x020)
+        assert cache.stats.evictions == 1
+
+    def test_mshr_merge(self):
+        cache = small_cache()
+        first_latency, _ = cache.access(0x200, cycle=0, fill_latency=80)
+        latency, _ = cache.access(0x208, cycle=10, fill_latency=80)
+        # Merged into the in-flight fill: waits only for the remainder.
+        assert latency == first_latency - 10
+        assert cache.stats.mshr_merges == 1
+
+    def test_writeback_counted(self):
+        cache = small_cache(size_bytes=64, line_bytes=32, associativity=1)
+        cache.access(0x000, 0, is_write=True)
+        cache.access(0x040, 1)               # evicts dirty line
+        assert cache.stats.writebacks == 1
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", size_bytes=16, line_bytes=32,
+                        associativity=2, hit_latency=1).num_sets
+
+
+class TestTLB:
+    def test_miss_penalty_then_hit(self):
+        tlb = TLB(TLBConfig("dtlb", entries=8, associativity=2,
+                            miss_latency=30))
+        latency, hit = tlb.access(0x10000, 0)
+        assert not hit and latency == 30
+        latency, hit = tlb.access(0x10008, 1)
+        assert hit and latency == 0
+
+    def test_capacity_eviction(self):
+        tlb = TLB(TLBConfig("dtlb", entries=2, associativity=2,
+                            page_bytes=4096))
+        for page in range(3):
+            tlb.access(page * 4096, page)
+        assert tlb.stats.misses == 3
+        # The least recently used page was evicted.
+        _, hit = tlb.access(0, 10)
+        assert not hit
+
+
+class TestHierarchy:
+    def test_load_latency_composition(self):
+        mem = MemoryHierarchy(MemSysConfig())
+        cold = mem.load(0x5000, 0)
+        assert not cold.l1_hit
+        warm = mem.load(0x5000, 200)
+        assert warm.l1_hit
+        assert warm.latency < cold.latency
+        assert warm.latency >= mem.config.dl1.hit_latency
+
+    def test_ifetch_uses_icache(self):
+        mem = MemoryHierarchy(MemSysConfig())
+        cold = mem.ifetch(0x0, 0)
+        warm = mem.ifetch(0x4, 10)
+        assert warm.latency <= cold.latency
+
+    def test_write_buffer_fills_and_drains(self):
+        cfg = MemSysConfig(write_buffer_entries=2)
+        mem = MemoryHierarchy(cfg)
+        assert mem.store(0x100, 0) == (0, True)
+        assert mem.store(0x200, 0) == (0, True)
+        stall, accepted = mem.store(0x300, 0)
+        assert not accepted and stall >= 1
+        # After the earlier stores drain, new stores are accepted again.
+        stall, accepted = mem.store(0x300, 1000)
+        assert accepted
+
+
+def branch(pc, target):
+    return StaticInst(pc=pc, op=Opcode.BNE, ra=1, imm=target - pc - 4,
+                      target=target)
+
+
+class TestDirectionPredictors:
+    def test_bimodal_learns_direction(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(4):
+            predictor.update(0x40, True)
+        assert predictor.predict(0x40)
+        for _ in range(4):
+            predictor.update(0x40, False)
+        assert not predictor.predict(0x40)
+
+    def test_gshare_distinguishes_histories(self):
+        predictor = GSharePredictor(256, history_bits=8)
+        # Same PC, alternating behaviour correlated with history.
+        for _ in range(32):
+            predictor.update(0x80, 0b1010, True)
+            predictor.update(0x80, 0b0101, False)
+        assert predictor.predict(0x80, 0b1010)
+        assert not predictor.predict(0x80, 0b0101)
+
+    def test_hybrid_chooser_prefers_better_component(self):
+        config = BranchPredictorConfig(bimodal_entries=64, gshare_entries=64,
+                                       chooser_entries=64, history_bits=6)
+        hybrid = HybridPredictor(config)
+        for _ in range(32):
+            hybrid.update(0x10, 0b111, True)
+        assert hybrid.predict(0x10, 0b111)
+
+
+class TestBTBAndRAS:
+    def test_btb_lookup(self):
+        btb = BranchTargetBuffer(16)
+        assert btb.lookup(0x40) is None
+        btb.update(0x40, 0x1000)
+        assert btb.lookup(0x40) == 0x1000
+
+    def test_ras_push_pop_and_depth(self):
+        ras = ReturnAddressStack(4)
+        assert ras.depth == 0
+        ras.push(0x10)
+        ras.push(0x20)
+        assert ras.depth == 2
+        assert ras.pop() == 0x20
+        assert ras.pop() == 0x10
+        assert ras.pop() is None
+
+    def test_ras_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.depth == 2
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+
+
+class TestBranchPredictorUnit:
+    def test_conditional_prediction_and_resolution(self):
+        bp = BranchPredictor(BranchPredictorConfig())
+        inst = branch(0x100, 0x80)
+        pred = bp.predict(inst)
+        mispredicted = bp.resolve(inst, pred, taken=not pred.taken,
+                                  target=0x80 if not pred.taken else 0x104)
+        assert mispredicted
+        assert bp.stats.cond_mispredictions == 1
+
+    def test_call_and_return_use_ras(self):
+        bp = BranchPredictor()
+        call = StaticInst(pc=0x200, op=Opcode.BSR, rd=26, target=0x400,
+                          imm=0x400 - 0x204)
+        bp.predict(call)
+        assert bp.call_depth == 1
+        ret = StaticInst(pc=0x440, op=Opcode.RET, ra=26)
+        pred = bp.predict(ret)
+        assert pred.target == 0x204
+        assert bp.call_depth == 0
+
+    def test_snapshot_restore(self):
+        bp = BranchPredictor()
+        call = StaticInst(pc=0x200, op=Opcode.BSR, rd=26, target=0x400,
+                          imm=0x1FC)
+        snap = bp.snapshot()
+        bp.predict(call)
+        assert bp.call_depth == 1
+        bp.restore(snap)
+        assert bp.call_depth == 0
+
+    def test_indirect_call_uses_btb_after_training(self):
+        bp = BranchPredictor()
+        jsr = StaticInst(pc=0x300, op=Opcode.JSR, rd=26, ra=27)
+        pred = bp.predict(jsr)
+        assert pred.target == 0x304            # no BTB entry yet: fallthrough
+        bp.resolve(jsr, pred, True, 0x900)
+        pred2 = bp.predict(jsr)
+        assert pred2.target == 0x900
