@@ -5,12 +5,17 @@ EXPERIMENTS.md.
 Usage::
 
     python examples/run_all_experiments.py [--all] [--scale S] [-o FILE]
+                                           [--jobs N]
+
+Simulations fan out over ``--jobs`` worker processes and hit the on-disk
+result cache (see ``python -m repro cache info``), so re-runs are
+near-instant.
 """
 
 import argparse
 import sys
 
-from repro.experiments import DEFAULT_BENCHMARKS, FAST_BENCHMARKS
+from repro.experiments import DEFAULT_BENCHMARKS, FAST_BENCHMARKS, telemetry
 from repro.experiments import (
     ablations,
     diagnostics,
@@ -28,6 +33,8 @@ def main() -> None:
     parser.add_argument("--scale", type=float, default=None)
     parser.add_argument("-o", "--output", default=None)
     parser.add_argument("--skip-ablations", action="store_true")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel simulation processes; 0 = one per CPU")
     args = parser.parse_args()
     benchmarks = DEFAULT_BENCHMARKS if args.all else FAST_BENCHMARKS
 
@@ -40,7 +47,8 @@ def main() -> None:
     emit(f"benchmarks: {', '.join(benchmarks)}\n")
 
     r4 = figure4.run(benchmarks=benchmarks, scale=args.scale,
-                     lisp_modes=(LispMode.REALISTIC, LispMode.ORACLE))
+                     lisp_modes=(LispMode.REALISTIC, LispMode.ORACLE),
+                     jobs=args.jobs)
     emit(figure4.report(r4, lisp="realistic"))
     emit("")
     emit(figure4.report(r4, lisp="oracle"))
@@ -54,25 +62,34 @@ def main() -> None:
          f"{r4.mean_reverse_rate():.3f}")
     emit("")
 
-    d = diagnostics.run(benchmarks=benchmarks, scale=args.scale)
+    d = diagnostics.run(benchmarks=benchmarks, scale=args.scale,
+                        jobs=args.jobs)
     emit(diagnostics.report(d))
     emit("")
 
-    r5 = figure5.run(benchmarks=benchmarks, scale=args.scale)
+    r5 = figure5.run(benchmarks=benchmarks, scale=args.scale,
+                     jobs=args.jobs)
     emit(figure5.report(r5))
     emit("")
 
-    r6 = figure6.run(benchmarks=benchmarks, scale=args.scale)
+    r6 = figure6.run(benchmarks=benchmarks, scale=args.scale,
+                     jobs=args.jobs)
     emit(figure6.report(r6))
     emit("")
 
-    r7 = figure7.run(benchmarks=benchmarks, scale=args.scale)
+    r7 = figure7.run(benchmarks=benchmarks, scale=args.scale,
+                     jobs=args.jobs)
     emit(figure7.report(r7))
     emit("")
 
     if not args.skip_ablations:
-        ra = ablations.run(benchmarks=benchmarks, scale=args.scale)
+        ra = ablations.run(benchmarks=benchmarks, scale=args.scale,
+                           jobs=args.jobs)
         emit(ablations.report(ra))
+
+    emit(f"\n{telemetry.simulations} simulations, "
+         f"{telemetry.memory_hits} memory hits, "
+         f"{telemetry.disk_hits} disk hits")
 
     if args.output:
         out.close()

@@ -1,3 +1,5 @@
+"""Packaging shim for legacy tooling; all metadata lives in pyproject.toml."""
+
 from setuptools import setup
 
 setup()

@@ -1,0 +1,19 @@
+"""Reproduction of register integration (Petric, Bracy & Roth, MICRO 2002).
+
+Subpackages:
+
+* :mod:`repro.isa`          -- the toy 64-bit RISC ISA and assembler
+* :mod:`repro.functional`   -- the architectural (functional) emulator
+* :mod:`repro.core`         -- the cycle-level out-of-order timing model
+* :mod:`repro.integration`  -- the integration table and logic
+* :mod:`repro.memsys`       -- the cache/TLB timing hierarchy
+* :mod:`repro.frontend`     -- branch prediction
+* :mod:`repro.workloads`    -- synthetic SPEC-like benchmarks
+* :mod:`repro.experiments`  -- the parallel, disk-cached experiment engine
+* :mod:`repro.analysis`     -- metrics and report formatting
+
+This module stays import-light on purpose: it is imported by every
+configuration module and by the ``python -m repro`` CLI entry point.
+"""
+
+__version__ = "0.2.0"

@@ -1,0 +1,186 @@
+"""Command-line interface to the experiment engine: ``python -m repro``.
+
+Subcommands::
+
+    repro run      -- simulate benchmarks under the paper's configurations
+    repro figures  -- regenerate the paper's figure/table reports
+    repro cache    -- inspect or clear the on-disk result cache
+
+``--jobs`` fans simulations out over a process pool; ``--scale`` shrinks or
+grows the synthetic workloads; ``--benchmarks`` picks the benchmark set
+(``smoke``/``fast``/``all`` or an explicit comma-separated list).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _parse_benchmarks(spec: str) -> List[str]:
+    from repro.experiments import runner
+
+    sets = {
+        "smoke": runner.SMOKE_BENCHMARKS,
+        "fast": runner.FAST_BENCHMARKS,
+        "all": runner.DEFAULT_BENCHMARKS,
+    }
+    if spec.lower() in sets:
+        return list(sets[spec.lower()])
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = [n for n in names if n not in runner.DEFAULT_BENCHMARKS]
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmarks: {', '.join(unknown)} "
+            f"(available: {', '.join(runner.DEFAULT_BENCHMARKS)})")
+    if not names:
+        raise SystemExit("no benchmarks selected")
+    return names
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmarks", default="fast", metavar="SET",
+                        help="smoke|fast|all or a comma-separated list "
+                             "(default: fast)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (default: REPRO_SCALE "
+                             "or 0.5)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="parallel simulation processes; 0 = one per "
+                             "CPU (default: REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the result caches entirely")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core import MachineConfig
+    from repro.experiments import runner
+    from repro.integration.config import IntegrationConfig
+
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    machine = MachineConfig()
+    named = {
+        "none": IntegrationConfig.disabled(),
+        "squash": IntegrationConfig.squash(),
+        "general": IntegrationConfig.general(),
+        "opcode": IntegrationConfig.opcode(),
+        "full": IntegrationConfig.full(),
+    }
+    wanted = args.configs.split(",") if args.configs else ["none", "full"]
+    unknown = [c for c in wanted if c not in named]
+    if unknown:
+        raise SystemExit(f"unknown configs: {', '.join(unknown)} "
+                         f"(available: {', '.join(named)})")
+    suite_configs = {name: machine.with_integration(named[name])
+                     for name in wanted}
+
+    results = runner.run_suite(benchmarks, suite_configs, scale=args.scale,
+                               jobs=args.jobs,
+                               use_cache=not args.no_cache)
+    header = (f"{'benchmark':<12} {'config':<8} {'cycles':>9} {'retired':>9} "
+              f"{'IPC':>7} {'int.rate':>9} {'misint/M':>9}")
+    print(header)
+    print("-" * len(header))
+    for config_name in wanted:
+        for benchmark in benchmarks:
+            stats = results[config_name][benchmark]
+            print(f"{benchmark:<12} {config_name:<8} {stats.cycles:>9} "
+                  f"{stats.retired:>9} {stats.ipc:>7.3f} "
+                  f"{stats.integration_rate:>9.3f} "
+                  f"{stats.mis_integrations_per_million:>9.1f}")
+    print(f"\n{runner.telemetry.simulations} simulations, "
+          f"{runner.telemetry.memory_hits} memory hits, "
+          f"{runner.telemetry.disk_hits} disk hits")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations, diagnostics
+    from repro.experiments import figure4, figure5, figure6, figure7
+    from repro.experiments import runner
+
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    available = {
+        "4": lambda: figure4.report(figure4.run(
+            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
+        "5": lambda: figure5.report(figure5.run(
+            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
+        "6": lambda: figure6.report(figure6.run(
+            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
+        "7": lambda: figure7.report(figure7.run(
+            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
+        "diagnostics": lambda: diagnostics.report(diagnostics.run(
+            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
+        "ablations": lambda: ablations.report(ablations.run(
+            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
+    }
+    wanted = args.figures.split(",") if args.figures else ["4", "5", "6", "7"]
+    unknown = [f for f in wanted if f not in available]
+    if unknown:
+        raise SystemExit(f"unknown figures: {', '.join(unknown)} "
+                         f"(available: {', '.join(available)})")
+    for name in wanted:
+        print(available[name]())
+        print()
+    print(f"{runner.telemetry.simulations} simulations, "
+          f"{runner.telemetry.disk_hits} disk hits")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.cache import ResultCache
+
+    cache = ResultCache()
+    if args.cache_action == "info":
+        info = cache.info()
+        print(f"cache root:   {info['root']}")
+        print(f"enabled:      {info['enabled']}")
+        print(f"entries:      {info['entries']}")
+        print(f"size:         {info['bytes'] / 1024:.1f} KiB")
+        print(f"code version: {info['code_version']}")
+    elif args.cache_action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Register-integration reproduction "
+                    "(Petric, Bracy & Roth, MICRO 2002)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate benchmarks")
+    _add_common(p_run)
+    p_run.add_argument("--configs", default=None, metavar="LIST",
+                       help="comma-separated integration configs: none,"
+                            "squash,general,opcode,full (default: none,full)")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    _add_common(p_fig)
+    p_fig.add_argument("--figures", default=None, metavar="LIST",
+                       help="comma-separated: 4,5,6,7,diagnostics,ablations "
+                            "(default: 4,5,6,7)")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_cache = sub.add_parser("cache", help="manage the on-disk result cache")
+    p_cache.add_argument("cache_action", choices=("info", "clear"))
+    p_cache.set_defaults(func=_cmd_cache)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

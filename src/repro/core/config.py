@@ -8,10 +8,11 @@ from typing import Optional
 from repro.frontend.branch_predictor import BranchPredictorConfig
 from repro.integration.config import IntegrationConfig
 from repro.memsys.hierarchy import MemSysConfig
+from repro.serialization import SerializableConfig
 
 
 @dataclass(frozen=True)
-class IssuePortConfig:
+class IssuePortConfig(SerializableConfig):
     """Per-cycle issue-port limits of the execution core.
 
     The paper's baseline issues up to four instructions per cycle with at
@@ -27,8 +28,14 @@ class IssuePortConfig:
 
 
 @dataclass(frozen=True)
-class MachineConfig:
-    """Every structural parameter of the simulated processor."""
+class MachineConfig(SerializableConfig):
+    """Every structural parameter of the simulated processor.
+
+    Canonical serialization (``to_dict``/``from_dict``) and a stable
+    ``fingerprint()`` hash covering every nested field come from
+    :class:`~repro.serialization.SerializableConfig`; the fingerprint is the
+    cache identity of a configuration throughout the experiment engine.
+    """
 
     # Superscalar widths.
     fetch_width: int = 4

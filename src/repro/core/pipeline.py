@@ -1,93 +1,54 @@
-"""The cycle-level out-of-order processor model.
+r"""The cycle-level out-of-order processor engine.
 
-:class:`Processor` glues together every substrate -- fetch with branch
-prediction, the integration-aware rename stage, the reservation-station
-scheduler, the load/store queue, the memory hierarchy, and the DIVA checker
-that doubles as the commit point -- and advances them one cycle at a time.
+:class:`Processor` is a thin engine: it instantiates every substrate (branch
+prediction, renaming + integration, the reservation-station scheduler, the
+load/store queue, the memory hierarchy and the DIVA checker), wires them
+into the four stage components of :mod:`repro.core.stages`, and advances the
+clock.  All per-stage behaviour lives in the stage classes.
 
 Pipeline organisation (13 stages, paper Section 3.1)::
 
     fetch(3)  decode(1)  rename(1) | schedule(2) regread(2) execute  wb(1) | DIVA(1) retire(1)
+    \------ FrontEnd ------/\-- RenameIntegrate  \--- IssueExecute ---/\- CommitDiva -/
 
 Integrating instructions leave the pipeline at rename: they are never
 allocated reservation stations, never issue, and never touch the data cache;
 they wait in the reorder buffer until their (shared) physical register value
 is ready and then pass through DIVA and retirement like everything else.
+
+Each simulated cycle runs writeback, commit, issue, rename and fetch -- in
+that order, so results written back in cycle N are visible to retirement in
+the same cycle, matching the seed model exactly.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import Callable, Dict, List, Optional
+from typing import Optional, Tuple
 
 from repro.core.config import MachineConfig
-from repro.core.diva import DivaChecker, DivaFault, SimulationError
+from repro.core.diva import DivaChecker, SimulationError
 from repro.core.lsq import CollisionHistoryTable, LoadStoreQueue
 from repro.core.rob import ReorderBuffer
 from repro.core.scheduler import ReservationStations
-from repro.core.stats import (
-    IntegrationType,
-    ResultStatus,
-    SimStats,
-    distance_bucket,
+from repro.core.stages import (
+    CommitDiva,
+    FrontEnd,
+    IssueExecute,
+    PipelineState,
+    RecoveryController,
+    RenameIntegrate,
+    Stage,
 )
-from repro.frontend.branch_predictor import BranchPredictor, BranchPrediction
+from repro.core.stats import SimStats
+from repro.frontend.branch_predictor import BranchPredictor
 from repro.functional.memory import SparseMemory
 from repro.functional.state import ArchState
-from repro.integration.config import LispMode
 from repro.integration.logic import IntegrationLogic
-from repro.isa.instruction import DynInst, StaticInst
-from repro.isa.opcodes import (
-    Opcode,
-    OpClass,
-    is_branch,
-    is_cond_branch,
-    is_fp,
-    is_load,
-    is_store,
-)
-from repro.isa.program import INST_SIZE, Program
-from repro.isa.registers import REG_SP
-from repro.isa import semantics
+from repro.isa.program import Program
 from repro.memsys.hierarchy import MemoryHierarchy
 from repro.rename.map_table import MapTable
 from repro.rename.physical import PhysicalRegisterFile
 from repro.rename.renamer import Renamer
-
-# Opcode classes that occupy a reservation station (everything that must pass
-# through the out-of-order execution engine when it does not integrate).
-_RS_CLASSES = frozenset({
-    OpClass.IALU, OpClass.IMUL, OpClass.LOAD, OpClass.STORE,
-    OpClass.COND_BRANCH, OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV,
-    OpClass.CALL_INDIRECT, OpClass.INDIRECT_JUMP, OpClass.RETURN,
-})
-# Opcode classes whose results/effects are fully known at rename time.
-_RENAME_COMPLETE_CLASSES = frozenset({
-    OpClass.DIRECT_JUMP, OpClass.CALL_DIRECT, OpClass.SYSCALL, OpClass.NOP,
-})
-_INDIRECT_CLASSES = frozenset({
-    OpClass.CALL_INDIRECT, OpClass.INDIRECT_JUMP, OpClass.RETURN,
-})
-_ALU_CLASSES = frozenset({
-    OpClass.IALU, OpClass.IMUL, OpClass.FP_ADD, OpClass.FP_MUL,
-    OpClass.FP_DIV,
-})
-
-
-def _integration_type(inst: StaticInst) -> Optional[IntegrationType]:
-    """Categorise an instruction for the Figure 5 "Type" breakdown."""
-    op = inst.op
-    if is_load(op):
-        if inst.ra == REG_SP:
-            return IntegrationType.LOAD_SP
-        return IntegrationType.LOAD_OTHER
-    if is_cond_branch(op):
-        return IntegrationType.BRANCH
-    if is_fp(op):
-        return IntegrationType.FP
-    if inst.info.cls in (OpClass.IALU, OpClass.IMUL):
-        return IntegrationType.ALU
-    return None
 
 
 class Processor:
@@ -101,623 +62,112 @@ class Processor:
         icfg = self.config.integration
 
         # Architectural (committed) state -- owned by the DIVA checker.
-        self.arch = ArchState(memory=SparseMemory(program.data),
-                              pc=program.entry)
-        self.diva = DivaChecker(self.arch)
+        arch = ArchState(memory=SparseMemory(program.data), pc=program.entry)
+        diva = DivaChecker(arch)
 
         # Substrates.
-        self.mem = MemoryHierarchy(self.config.memsys)
-        self.predictor = BranchPredictor(self.config.branch_predictor)
+        mem = MemoryHierarchy(self.config.memsys)
+        predictor = BranchPredictor(self.config.branch_predictor)
 
         # Renaming + integration.
-        self.prf = PhysicalRegisterFile(icfg.num_physical_regs,
-                                        icfg.generation_bits,
-                                        icfg.refcount_bits)
-        self.map_table = MapTable()
-        self.renamer = Renamer(self.map_table, self.prf)
-        self.renamer.initialize_from_values(self.arch.regs)
-        self.integration = IntegrationLogic(icfg, self.prf)
+        prf = PhysicalRegisterFile(icfg.num_physical_regs,
+                                   icfg.generation_bits,
+                                   icfg.refcount_bits)
+        map_table = MapTable()
+        renamer = Renamer(map_table, prf)
+        renamer.initialize_from_values(arch.regs)
+        integration = IntegrationLogic(icfg, prf)
 
         # Out-of-order engine.
-        self.rob = ReorderBuffer(self.config.rob_size)
-        self.rs = ReservationStations(self.config.rs_entries,
-                                      self.config.ports,
-                                      self.config.combined_ldst_port)
-        self.lsq = LoadStoreQueue(self.config.lsq_size)
-        self.cht = CollisionHistoryTable(self.config.collision_history_entries)
+        rob = ReorderBuffer(self.config.rob_size)
+        rs = ReservationStations(self.config.rs_entries,
+                                 self.config.ports,
+                                 self.config.combined_ldst_port)
+        lsq = LoadStoreQueue(self.config.lsq_size)
+        cht = CollisionHistoryTable(self.config.collision_history_entries)
 
-        # Front end.
-        self.fetch_pc = program.entry
-        self.fetch_resume_cycle = 0
-        self.fetch_halted = False
-        self.fetch_queue: deque = deque()   # (DynInst, rename_ready_cycle)
-        self.predictions: Dict[int, BranchPrediction] = {}
+        stats = SimStats(benchmark=name or program.name,
+                         config_name=icfg.describe())
 
-        # Bookkeeping.
-        self.cycle = 0
-        self.seq = 0
-        self.preg_producer: Dict[int, DynInst] = {}
-        self.wakeup_events: Dict[int, List] = defaultdict(list)
-        self.complete_events: Dict[int, List[DynInst]] = defaultdict(list)
-        self.last_retire_cycle = 0
-        self.stats = SimStats(benchmark=name or program.name,
-                              config_name=icfg.describe())
+        # Shared datapath + stage components.
+        self.state = PipelineState(
+            program=program, config=self.config, arch=arch, diva=diva,
+            mem=mem, predictor=predictor, prf=prf, map_table=map_table,
+            renamer=renamer, integration=integration, rob=rob, rs=rs,
+            lsq=lsq, cht=cht, stats=stats)
+        self.front_end = FrontEnd(self.state)
+        self.recovery = RecoveryController(self.state, self.front_end)
+        self.rename_integrate = RenameIntegrate(self.state, self.front_end,
+                                                self.recovery)
+        self.issue_execute = IssueExecute(self.state, self.recovery)
+        self.commit_diva = CommitDiva(self.state, self.recovery)
+        #: Program order of the stage components (front of the pipe first).
+        self.stages: Tuple[Stage, ...] = (
+            self.front_end, self.rename_integrate, self.issue_execute,
+            self.commit_diva)
 
-    # ==================================================================
-    # main loop
-    # ==================================================================
+        # Convenience aliases kept for tests, tools and documentation.
+        self.arch = arch
+        self.diva = diva
+        self.mem = mem
+        self.predictor = predictor
+        self.prf = prf
+        self.map_table = map_table
+        self.renamer = renamer
+        self.integration = integration
+        self.rob = rob
+        self.rs = rs
+        self.lsq = lsq
+        self.cht = cht
+        self.stats = stats
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        return self.state.cycle
+
+    @property
+    def fetch_queue(self):
+        return self.front_end.fetch_queue
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the whole machine by one cycle.
+
+        Back-to-front evaluation: results written back this cycle are
+        visible to retirement, freed resources are visible to rename, and
+        redirects take effect before the next fetch.
+        """
+        state = self.state
+        self.issue_execute.writeback()
+        self.commit_diva.tick()
+        self.issue_execute.tick()
+        self.rename_integrate.tick()
+        self.front_end.tick()
+        state.stats.rs_occupancy_sum += state.rs.occupancy
+        state.stats.rs_occupancy_samples += 1
+        state.cycle += 1
+
     def run(self, max_instructions: Optional[int] = None) -> SimStats:
         """Simulate until the program exits (or a limit is hit)."""
+        state = self.state
         config = self.config
-        while not self.arch.halted:
-            if self.cycle >= config.max_cycles:
+        stats = state.stats
+        while not state.arch.halted:
+            if state.cycle >= config.max_cycles:
                 raise SimulationError(
                     f"{self.program.name}: exceeded {config.max_cycles} cycles")
-            if self.cycle - self.last_retire_cycle > config.deadlock_cycles:
+            if state.cycle - state.last_retire_cycle > config.deadlock_cycles:
                 raise SimulationError(
                     f"{self.program.name}: no retirement for "
-                    f"{config.deadlock_cycles} cycles at cycle {self.cycle} "
-                    f"(ROB={len(self.rob)}, RS={self.rs.occupancy})")
-            self._process_events()
-            self._retire()
-            self._issue()
-            self._rename()
-            self._fetch()
-            self.stats.rs_occupancy_sum += self.rs.occupancy
-            self.stats.rs_occupancy_samples += 1
-            self.cycle += 1
-            if max_instructions is not None and self.stats.retired >= max_instructions:
+                    f"{config.deadlock_cycles} cycles at cycle {state.cycle} "
+                    f"(ROB={len(state.rob)}, RS={state.rs.occupancy})")
+            self.step()
+            if (max_instructions is not None
+                    and stats.retired >= max_instructions):
                 break
-        self.stats.cycles = self.cycle
-        return self.stats
-
-    # ==================================================================
-    # event processing (wakeups and completions)
-    # ==================================================================
-    def _process_events(self) -> None:
-        wakeups = self.wakeup_events.pop(self.cycle, None)
-        if wakeups:
-            for dyn, value in wakeups:
-                if dyn.squashed or dyn.dest_preg is None:
-                    continue
-                self.prf.set_value(dyn.dest_preg, value)
-        completions = self.complete_events.pop(self.cycle, None)
-        if completions:
-            for dyn in completions:
-                if dyn.squashed:
-                    continue
-                self._complete(dyn)
-
-    def _complete(self, dyn: DynInst) -> None:
-        dyn.completed = True
-        dyn.executed = True
-        dyn.complete_cycle = self.cycle
-        cls = dyn.inst.info.cls
-        if cls is OpClass.COND_BRANCH:
-            self._resolve_branch(dyn)
-        elif cls in _INDIRECT_CLASSES:
-            self._resolve_indirect(dyn)
-        elif cls is OpClass.STORE:
-            self._resolve_store(dyn)
-
-    # ------------------------------------------------------------------
-    def _resolve_branch(self, dyn: DynInst) -> None:
-        """Resolution of an executed (non-integrated) conditional branch."""
-        taken = dyn.branch_taken
-        target = dyn.next_pc
-        self.integration.record_branch_outcome(dyn, taken)
-        prediction = self.predictions.get(dyn.seq)
-        if prediction is None:
-            return
-        mispredicted = self.predictor.resolve(dyn.inst, prediction, taken,
-                                              target)
-        if mispredicted:
-            dyn.branch_mispredicted = True
-            self._squash_younger(dyn, redirect_pc=target)
-
-    def _resolve_indirect(self, dyn: DynInst) -> None:
-        target = dyn.next_pc
-        prediction = self.predictions.get(dyn.seq)
-        if prediction is None:
-            return
-        mispredicted = self.predictor.resolve(dyn.inst, prediction, True,
-                                              target)
-        if mispredicted:
-            dyn.branch_mispredicted = True
-            self._squash_younger(dyn, redirect_pc=target)
-
-    def _resolve_store(self, dyn: DynInst) -> None:
-        violations = self.lsq.resolve_store(dyn, dyn.eff_addr)
-        if not violations:
-            return
-        victim = violations[0]
-        victim.mem_mispeculated = True
-        self.stats.memory_order_violations += 1
-        self.cht.train(victim.inst.pc)
-        self._squash_from(victim, redirect_pc=victim.pc)
-
-    # ==================================================================
-    # retire + DIVA
-    # ==================================================================
-    def _retire(self) -> None:
-        retired = 0
-        while retired < self.config.retire_width:
-            dyn = self.rob.head()
-            if dyn is None or not self._can_retire(dyn):
-                break
-            if is_store(dyn.op):
-                stall, accepted = self.mem.store(dyn.eff_addr or 0, self.cycle)
-                if not accepted:
-                    break
-            observed_value, observed_taken, observed_next_pc = \
-                self._observed_results(dyn)
-            step, fault = self.diva.check_and_commit(
-                dyn, observed_value, observed_taken, observed_next_pc)
-            if fault is not None:
-                self._handle_diva_fault(dyn, step, fault)
-                self._retire_commit(dyn)
-                retired += 1
-                break
-            self._retire_commit(dyn)
-            retired += 1
-            if self.arch.halted:
-                break
-
-    def _can_retire(self, dyn: DynInst) -> bool:
-        if self.cycle <= dyn.rename_cycle + 1:
-            return False
-        if dyn.integrated:
-            if dyn.dest_preg is not None and not self.prf.ready[dyn.dest_preg]:
-                return False
-            return True
-        return dyn.completed
-
-    def _observed_results(self, dyn: DynInst):
-        """Collect what the timing core believes this instruction produced."""
-        observed_value = None
-        observed_taken = None
-        observed_next_pc = None
-        inst = dyn.inst
-        cls = inst.info.cls
-        if is_store(inst.op):
-            observed_value = dyn.store_value
-        elif is_cond_branch(inst.op):
-            observed_taken = dyn.branch_taken
-        elif cls in _INDIRECT_CLASSES:
-            observed_next_pc = dyn.next_pc
-        elif inst.dest_reg() is not None and dyn.dest_preg is not None:
-            observed_value = self.prf.value(dyn.dest_preg)
-        return observed_value, observed_taken, observed_next_pc
-
-    def _retire_commit(self, dyn: DynInst) -> None:
-        """Post-DIVA retirement bookkeeping and statistics."""
-        self.rob.pop_head()
-        self.renamer.commit(dyn)
-        if dyn.lsq_index:
-            self.lsq.remove(dyn)
-        dyn.retire_cycle = self.cycle
-        self.last_retire_cycle = self.cycle
-        self.predictions.pop(dyn.seq, None)
-        stats = self.stats
-        stats.retired += 1
-
-        itype = _integration_type(dyn.inst)
-        if itype is not None:
-            stats.retired_by_type[itype] += 1
-        if is_cond_branch(dyn.op):
-            stats.retired_branches += 1
-            if dyn.branch_mispredicted or dyn.mis_integrated:
-                stats.retired_mispredicted_branches += 1
-                stats.branch_resolution_latency_sum += max(
-                    0, dyn.complete_cycle - dyn.fetch_cycle)
-        if dyn.integrated and not dyn.mis_integrated:
-            if dyn.reverse_integrated:
-                stats.integrated_reverse += 1
-                if itype is not None:
-                    stats.reverse_by_type[itype] += 1
-            else:
-                stats.integrated_direct += 1
-            if itype is not None:
-                stats.integration_by_type[itype] += 1
-            stats.integration_distance[
-                distance_bucket(dyn.integration_distance)] += 1
-            if dyn.integration_status is not None:
-                stats.integration_status[dyn.integration_status] += 1
-            if dyn.integration_refcount:
-                stats.integration_refcount[dyn.integration_refcount] += 1
-
-    def _handle_diva_fault(self, dyn: DynInst, step, fault: DivaFault) -> None:
-        """Recover from a mis-integration (or other value fault).
-
-        The paper models recovery as a complete pipeline flush.  We squash
-        every younger instruction, repair the faulting instruction's
-        destination mapping with a freshly allocated register holding the
-        architecturally correct value, and restart fetch at the correct
-        next PC.
-        """
-        if not dyn.integrated:
-            raise SimulationError(
-                f"DIVA fault on non-integrated instruction {dyn} "
-                f"({fault.kind}): timing core produced "
-                f"{fault.observed_value!r}, expected {fault.correct_value!r}")
-        dyn.mis_integrated = True
-        self.stats.mis_integrations += 1
-        if is_load(dyn.op):
-            self.stats.load_mis_integrations += 1
-            self.integration.train_lisp(dyn.inst.pc)
-        else:
-            self.stats.register_mis_integrations += 1
-
-        squashed = self.rob.squash_younger_than(dyn.seq)
-        self._do_squash(squashed, redirect_pc=step.next_pc)
-        self._recover_predictor_after(dyn,
-                                      taken=bool(step.taken),
-                                      target=step.next_pc)
-        # Repair the destination mapping with the correct value.
-        dest = dyn.inst.dest_reg()
-        if dest is not None and dyn.dest_preg is not None and fault.kind == "value":
-            self.prf.release(dyn.dest_preg)
-            fresh = self.prf.allocate(ready=True, value=step.dest_value)
-            if fresh is None:
-                raise SimulationError("no physical register available for "
-                                      "mis-integration repair")
-            self.map_table.set(dest, fresh, self.prf.gen[fresh])
-            dyn.dest_preg = fresh
-            dyn.dest_gen = self.prf.gen[fresh]
-            self.preg_producer[fresh] = dyn
-
-    # ==================================================================
-    # issue + execute
-    # ==================================================================
-    def _issue(self) -> None:
-        selected = self.rs.select(self._operands_ready, self._load_can_issue)
-        for dyn in selected:
-            self._execute(dyn)
-
-    def _operands_ready(self, dyn: DynInst) -> bool:
-        ready = self.prf.ready
-        for preg in dyn.src_pregs:
-            if not ready[preg]:
-                return False
-        return True
-
-    def _load_can_issue(self, dyn: DynInst) -> bool:
-        base = self.prf.value(dyn.src_pregs[0])
-        addr = semantics.effective_address(base, dyn.inst.imm)
-        if (self.cht.predicts_collision(dyn.inst.pc)
-                and self.lsq.older_stores_unresolved(dyn)):
-            return False
-        store, data_ready = self.lsq.forward_from(dyn, addr)
-        if store is not None and not data_ready:
-            return False
-        return True
-
-    def _execute(self, dyn: DynInst) -> None:
-        config = self.config
-        dyn.issued = True
-        dyn.issue_cycle = self.cycle
-        self.stats.issued += 1
-        inst = dyn.inst
-        cls = inst.info.cls
-        values = [self.prf.value(p) for p in dyn.src_pregs]
-        dyn.src_values = values
-        regread = config.regread_stages
-        wb = config.writeback_stages
-
-        if cls in _ALU_CLASSES:
-            a = values[0] if values else 0
-            b = values[1] if len(values) > 1 else 0
-            result = semantics.evaluate(inst.op, a, b, inst.imm)
-            dyn.result = result
-            latency = inst.info.latency
-            self._schedule_wakeup(dyn, latency, result)
-            self._schedule_complete(dyn, regread + latency + wb)
-        elif cls is OpClass.COND_BRANCH:
-            taken = semantics.branch_taken(inst.op, values[0])
-            dyn.branch_taken = taken
-            dyn.next_pc = inst.target if taken else inst.pc + INST_SIZE
-            self._schedule_complete(dyn, regread + 1 + wb)
-        elif cls in _INDIRECT_CLASSES:
-            target = int(values[0]) & semantics.MASK64
-            dyn.next_pc = target
-            if cls is OpClass.CALL_INDIRECT and dyn.dest_preg is not None:
-                link = inst.pc + INST_SIZE
-                dyn.result = link
-                self._schedule_wakeup(dyn, 1, link)
-            self._schedule_complete(dyn, regread + 1 + wb)
-        elif cls is OpClass.LOAD:
-            self._execute_load(dyn, values)
-        elif cls is OpClass.STORE:
-            self._execute_store(dyn, values)
-        else:  # pragma: no cover - such classes never enter the RS
-            raise SimulationError(f"unexpected issue of {dyn}")
-
-    def _execute_load(self, dyn: DynInst, values) -> None:
-        config = self.config
-        inst = dyn.inst
-        agen = config.memsys.address_generation_latency
-        addr = semantics.effective_address(values[0], inst.imm)
-        dyn.eff_addr = addr
-        self.lsq.record_load(dyn, addr)
-        self.stats.executed_loads += 1
-        store, _ = self.lsq.forward_from(dyn, addr)
-        if store is not None:
-            latency = agen + config.memsys.store_forward_latency
-            value = store.store_value
-        else:
-            access = self.mem.load(addr, self.cycle + agen)
-            latency = agen + access.latency
-            value = self.arch.memory.read(addr)
-        value = semantics.narrow_load_value(inst.op, value)
-        dyn.result = value
-        self._schedule_wakeup(dyn, latency, value)
-        self._schedule_complete(dyn, config.regread_stages + latency
-                                + config.writeback_stages)
-
-    def _execute_store(self, dyn: DynInst, values) -> None:
-        config = self.config
-        inst = dyn.inst
-        data, base = values[0], values[1]
-        addr = semantics.effective_address(base, inst.imm)
-        dyn.eff_addr = addr
-        dyn.store_value = semantics.narrow_store_value(inst.op, data)
-        self.stats.executed_stores += 1
-        agen = config.memsys.address_generation_latency
-        self._schedule_complete(dyn, config.regread_stages + agen
-                                + config.writeback_stages)
-
-    def _schedule_wakeup(self, dyn: DynInst, delay: int, value) -> None:
-        self.wakeup_events[self.cycle + max(1, delay)].append((dyn, value))
-
-    def _schedule_complete(self, dyn: DynInst, delay: int) -> None:
-        self.complete_events[self.cycle + max(1, delay)].append(dyn)
-
-    # ==================================================================
-    # rename + integration
-    # ==================================================================
-    def _rename(self) -> None:
-        config = self.config
-        renamed = 0
-        while renamed < config.rename_width and self.fetch_queue:
-            dyn, ready_cycle = self.fetch_queue[0]
-            if ready_cycle > self.cycle or self.rob.full:
-                break
-            cls = dyn.inst.info.cls
-            needs_rs = cls in _RS_CLASSES
-            needs_lsq = cls in (OpClass.LOAD, OpClass.STORE)
-            if needs_rs and not self.rs.has_space():
-                break
-            if needs_lsq and not self.lsq.has_space():
-                break
-            # Remove the instruction from the front-end queue before renaming
-            # it: an integrated branch that redirects fetch flushes the queue
-            # and must not flush itself.
-            self.fetch_queue.popleft()
-            if not self._rename_one(dyn):
-                self.fetch_queue.appendleft((dyn, ready_cycle))
-                break
-            dyn.rename_cycle = self.cycle
-            self.rob.push(dyn)
-            self.stats.renamed += 1
-            renamed += 1
-            # An integrated branch that redirected fetch ends the rename
-            # group (everything behind it in the queue was flushed).
-            if dyn.branch_mispredicted and dyn.integrated:
-                break
-
-    def _rename_one(self, dyn: DynInst) -> bool:
-        """Rename (or integrate) one instruction; False means stall."""
-        inst = dyn.inst
-        cls = inst.info.cls
-        self.renamer.lookup_sources(dyn)
-
-        oracle = None
-        if (self.config.integration.lisp_mode is LispMode.ORACLE
-                and is_load(inst.op)):
-            oracle = self._oracle_allow
-        decision = self.integration.consider(dyn, dyn.call_depth,
-                                             oracle_allow=oracle)
-        if decision.suppressed_by_lisp or decision.suppressed_by_oracle:
-            self.stats.lisp_suppressed += 1
-
-        if decision.integrate:
-            if self._apply_integration(dyn, decision):
-                return True
-            self.stats.refcount_saturation_failures += 1
-
-        result = self.renamer.allocate_dest(dyn)
-        if result is None:
-            return False
-        if result.allocated:
-            self.preg_producer[dyn.dest_preg] = dyn
-        self.integration.create_entries(dyn, dyn.call_depth)
-
-        if cls is OpClass.CALL_DIRECT:
-            link = inst.pc + INST_SIZE
-            if dyn.dest_preg is not None:
-                self.prf.set_value(dyn.dest_preg, link)
-            dyn.result = link
-            self._mark_rename_complete(dyn)
-        elif cls in _RENAME_COMPLETE_CLASSES:
-            self._mark_rename_complete(dyn)
-        else:
-            self.rs.insert(dyn)
-            if cls in (OpClass.LOAD, OpClass.STORE):
-                self.lsq.insert(dyn)
-            dyn.dispatch_cycle = self.cycle
-        return True
-
-    def _mark_rename_complete(self, dyn: DynInst) -> None:
-        dyn.executed = True
-        dyn.completed = True
-        dyn.complete_cycle = self.cycle
-
-    def _apply_integration(self, dyn: DynInst, decision) -> bool:
-        """Point the instruction at the matched IT entry's result."""
-        entry = decision.entry
-        if is_cond_branch(dyn.op):
-            self._integrate_branch(dyn, entry)
-            return True
-        status = self._result_status(entry.out)
-        if not self.renamer.integrate_dest(dyn, entry.out, entry.out_gen):
-            return False
-        dyn.integrated = True
-        dyn.reverse_integrated = entry.is_reverse
-        dyn.integration_distance = max(0, dyn.seq - entry.creator_seq)
-        dyn.integration_status = status
-        dyn.integration_refcount = self.prf.refcount[entry.out]
-        self._mark_rename_complete(dyn)
-        return True
-
-    def _integrate_branch(self, dyn: DynInst, entry) -> None:
-        """An integrating conditional branch resolves at rename."""
-        inst = dyn.inst
-        outcome = bool(entry.branch_outcome)
-        dyn.integrated = True
-        dyn.reverse_integrated = entry.is_reverse
-        dyn.integration_distance = max(0, dyn.seq - entry.creator_seq)
-        dyn.branch_taken = outcome
-        dyn.next_pc = inst.target if outcome else inst.pc + INST_SIZE
-        self._mark_rename_complete(dyn)
-        prediction = self.predictions.get(dyn.seq)
-        if prediction is None:
-            return
-        mispredicted = self.predictor.resolve(inst, prediction, outcome,
-                                              dyn.next_pc)
-        if mispredicted:
-            # Early resolution at rename: nothing younger has been renamed
-            # yet, so only the front-end queues need flushing.
-            dyn.branch_mispredicted = True
-            self._flush_frontend(redirect_pc=dyn.next_pc)
-            self._recover_predictor_after(dyn, outcome, dyn.next_pc)
-
-    def _result_status(self, preg: int) -> ResultStatus:
-        """State of the to-be-integrated result (Figure 5 Status breakdown)."""
-        if self.prf.refcount[preg] == 0:
-            return ResultStatus.SHADOW_SQUASH
-        producer = self.preg_producer.get(preg)
-        if producer is None or producer.retire_cycle >= 0:
-            return ResultStatus.RETIRE
-        if producer.issued or producer.completed:
-            return ResultStatus.ISSUE
-        return ResultStatus.RENAME
-
-    def _oracle_allow(self, dyn: DynInst, entry) -> bool:
-        """Approximate oracle load-suppression: allow the integration only if
-        the value it would reuse matches the best currently-knowable value of
-        the load (store-queue forwarding or committed memory)."""
-        if entry.out is None or not self.prf.ready[entry.out]:
-            return True
-        base_preg = dyn.src_pregs[0]
-        if not self.prf.ready[base_preg]:
-            return True
-        addr = semantics.effective_address(self.prf.value(base_preg),
-                                           dyn.inst.imm)
-        store, data_ready = self.lsq.forward_from(dyn, addr)
-        if store is not None:
-            if not data_ready:
-                return True
-            expected = store.store_value
-        else:
-            expected = self.arch.memory.read(addr)
-        expected = semantics.narrow_load_value(dyn.op, expected)
-        return expected == self.prf.value(entry.out)
-
-    # ==================================================================
-    # fetch
-    # ==================================================================
-    def _fetch(self) -> None:
-        config = self.config
-        if (self.fetch_halted or self.cycle < self.fetch_resume_cycle
-                or len(self.fetch_queue) >= config.fetch_queue_size):
-            return
-        first = self.program.at(self.fetch_pc)
-        if first is None:
-            self.fetch_halted = True
-            return
-        access = self.mem.ifetch(self.fetch_pc, self.cycle)
-        ready_cycle = (self.cycle + config.fetch_stages + config.decode_stages
-                       + max(0, access.latency - 1))
-        for _ in range(config.fetch_width):
-            inst = self.program.at(self.fetch_pc)
-            if inst is None:
-                self.fetch_halted = True
-                break
-            self.seq += 1
-            dyn = DynInst(self.seq, inst)
-            dyn.fetch_cycle = self.cycle
-            dyn.call_depth = self.predictor.call_depth
-            dyn.map_checkpoint = self.predictor.snapshot()
-            prediction = self.predictor.predict(inst)
-            dyn.pred_taken = prediction.taken
-            dyn.pred_next_pc = prediction.target
-            if is_branch(inst.op):
-                self.predictions[dyn.seq] = prediction
-            self.stats.fetched += 1
-            self.fetch_queue.append((dyn, ready_cycle))
-            if is_branch(inst.op) and prediction.taken:
-                self.fetch_pc = prediction.target
-                break
-            self.fetch_pc = inst.pc + INST_SIZE
-
-    # ==================================================================
-    # squash machinery
-    # ==================================================================
-    def _squash_younger(self, dyn: DynInst, redirect_pc: int) -> None:
-        """Squash everything younger than ``dyn`` (branch misprediction)."""
-        squashed = self.rob.squash_younger_than(dyn.seq)
-        self._do_squash(squashed, redirect_pc)
-        self._recover_predictor_after(dyn, dyn.branch_taken, redirect_pc)
-
-    def _squash_from(self, dyn: DynInst, redirect_pc: int) -> None:
-        """Squash ``dyn`` and everything younger (memory-order violation)."""
-        squashed = self.rob.squash_younger_than(dyn.seq - 1)
-        self._do_squash(squashed, redirect_pc)
-        self._recover_predictor_before(dyn)
-
-    def _do_squash(self, squashed: List[DynInst], redirect_pc: int) -> None:
-        """Common squash worker: walk the squashed instructions youngest
-        first, undoing their rename effects, then flush the front end."""
-        seqs = set()
-        for dyn in squashed:            # youngest first (ROB pop order)
-            dyn.squashed = True
-            seqs.add(dyn.seq)
-            self.renamer.squash(dyn)
-            self.predictions.pop(dyn.seq, None)
-            self.stats.squashed += 1
-        if seqs:
-            self.rs.squash(seqs)
-            self.lsq.squash(seqs)
-        self._flush_frontend(redirect_pc)
-
-    def _flush_frontend(self, redirect_pc: int) -> None:
-        for dyn, _ in self.fetch_queue:
-            dyn.squashed = True
-            self.predictions.pop(dyn.seq, None)
-            self.stats.squashed += 1
-        self.fetch_queue.clear()
-        self.fetch_pc = redirect_pc
-        self.fetch_resume_cycle = self.cycle + 1
-        self.fetch_halted = False
-
-    # ------------------------------------------------------------------
-    def _recover_predictor_after(self, dyn: DynInst, taken: bool,
-                                 target: int) -> None:
-        """Restore the front-end prediction state to "just after ``dyn``"."""
-        if dyn.map_checkpoint is None:
-            return
-        self.predictor.restore(dyn.map_checkpoint)
-        cls = dyn.inst.info.cls
-        if cls is OpClass.COND_BRANCH:
-            self.predictor._push_history(taken)
-        elif cls in (OpClass.CALL_DIRECT, OpClass.CALL_INDIRECT):
-            self.predictor.ras.push(dyn.inst.pc + INST_SIZE)
-        elif cls is OpClass.RETURN:
-            self.predictor.ras.pop()
-
-    def _recover_predictor_before(self, dyn: DynInst) -> None:
-        if dyn.map_checkpoint is not None:
-            self.predictor.restore(dyn.map_checkpoint)
+        stats.cycles = state.cycle
+        return stats
 
 
 def simulate(program: Program, config: Optional[MachineConfig] = None,

@@ -1,0 +1,159 @@
+"""Shared scaffolding for the pipeline stages.
+
+The cycle-level model is decomposed into four stage components --
+:class:`~repro.core.stages.frontend.FrontEnd`,
+:class:`~repro.core.stages.rename.RenameIntegrate`,
+:class:`~repro.core.stages.execute.IssueExecute` and
+:class:`~repro.core.stages.commit.CommitDiva` -- that communicate through a
+:class:`PipelineState` datapath object.  Each stage owns the machinery of its
+pipeline segment and exposes the small :class:`Stage` interface; the
+:class:`~repro.core.pipeline.Processor` engine wires them together and
+advances the clock.
+
+Mis-speculation recovery cuts across stages (a resolving branch lives in the
+execution engine but must flush the front end and repair rename state), so
+it is centralised in :class:`RecoveryController`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.isa.program import INST_SIZE
+
+# Opcode classes that occupy a reservation station (everything that must pass
+# through the out-of-order execution engine when it does not integrate).
+RS_CLASSES = frozenset({
+    OpClass.IALU, OpClass.IMUL, OpClass.LOAD, OpClass.STORE,
+    OpClass.COND_BRANCH, OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV,
+    OpClass.CALL_INDIRECT, OpClass.INDIRECT_JUMP, OpClass.RETURN,
+})
+# Opcode classes whose results/effects are fully known at rename time.
+RENAME_COMPLETE_CLASSES = frozenset({
+    OpClass.DIRECT_JUMP, OpClass.CALL_DIRECT, OpClass.SYSCALL, OpClass.NOP,
+})
+INDIRECT_CLASSES = frozenset({
+    OpClass.CALL_INDIRECT, OpClass.INDIRECT_JUMP, OpClass.RETURN,
+})
+ALU_CLASSES = frozenset({
+    OpClass.IALU, OpClass.IMUL, OpClass.FP_ADD, OpClass.FP_MUL,
+    OpClass.FP_DIV,
+})
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """The interface every pipeline stage component exposes."""
+
+    #: Short human-readable stage name (used in debugging/reports).
+    name: str
+
+    def tick(self) -> None:
+        """Advance this stage by one cycle."""
+
+    def flush(self, redirect_pc: int) -> None:
+        """Discard in-flight work after a mis-speculation redirect."""
+
+
+class PipelineState:
+    """The shared datapath: substrates plus global bookkeeping.
+
+    Stages mutate this object; it carries no per-stage storage (the fetch
+    queue lives in the front end, the event queues in the execution stage).
+    """
+
+    __slots__ = (
+        "program", "config", "arch", "diva", "mem", "predictor", "prf",
+        "map_table", "renamer", "integration", "rob", "rs", "lsq", "cht",
+        "stats", "cycle", "seq", "last_retire_cycle", "preg_producer",
+        "predictions",
+    )
+
+    def __init__(self, *, program, config, arch, diva, mem, predictor, prf,
+                 map_table, renamer, integration, rob, rs, lsq, cht, stats):
+        self.program = program
+        self.config = config
+        self.arch = arch
+        self.diva = diva
+        self.mem = mem
+        self.predictor = predictor
+        self.prf = prf
+        self.map_table = map_table
+        self.renamer = renamer
+        self.integration = integration
+        self.rob = rob
+        self.rs = rs
+        self.lsq = lsq
+        self.cht = cht
+        self.stats = stats
+
+        # Global bookkeeping.
+        self.cycle = 0
+        self.seq = 0
+        self.last_retire_cycle = 0
+        self.preg_producer: Dict[int, DynInst] = {}
+        self.predictions: Dict[int, object] = {}
+
+
+class RecoveryController:
+    """Cross-stage mis-speculation recovery.
+
+    Squashing undoes rename effects youngest-first, clears scheduler and
+    load/store-queue entries, and redirects the front end; predictor state is
+    restored from the per-instruction checkpoint taken at fetch.
+    """
+
+    def __init__(self, state: PipelineState, frontend: "Stage"):
+        self.state = state
+        self.frontend = frontend
+
+    # ------------------------------------------------------------------
+    def squash_younger(self, dyn: DynInst, redirect_pc: int) -> None:
+        """Squash everything younger than ``dyn`` (branch misprediction)."""
+        squashed = self.state.rob.squash_younger_than(dyn.seq)
+        self.do_squash(squashed, redirect_pc)
+        self.recover_predictor_after(dyn, dyn.branch_taken, redirect_pc)
+
+    def squash_from(self, dyn: DynInst, redirect_pc: int) -> None:
+        """Squash ``dyn`` and everything younger (memory-order violation)."""
+        squashed = self.state.rob.squash_younger_than(dyn.seq - 1)
+        self.do_squash(squashed, redirect_pc)
+        self.recover_predictor_before(dyn)
+
+    def do_squash(self, squashed: List[DynInst], redirect_pc: int) -> None:
+        """Common squash worker: walk the squashed instructions youngest
+        first, undoing their rename effects, then flush the front end."""
+        state = self.state
+        seqs = set()
+        for dyn in squashed:            # youngest first (ROB pop order)
+            dyn.squashed = True
+            seqs.add(dyn.seq)
+            state.renamer.squash(dyn)
+            state.predictions.pop(dyn.seq, None)
+            state.stats.squashed += 1
+        if seqs:
+            state.rs.squash(seqs)
+            state.lsq.squash(seqs)
+        self.frontend.flush(redirect_pc)
+
+    # ------------------------------------------------------------------
+    def recover_predictor_after(self, dyn: DynInst, taken: bool,
+                                target: int) -> None:
+        """Restore the front-end prediction state to "just after ``dyn``"."""
+        if dyn.map_checkpoint is None:
+            return
+        predictor = self.state.predictor
+        predictor.restore(dyn.map_checkpoint)
+        cls = dyn.inst.info.cls
+        if cls is OpClass.COND_BRANCH:
+            predictor._push_history(taken)
+        elif cls in (OpClass.CALL_DIRECT, OpClass.CALL_INDIRECT):
+            predictor.ras.push(dyn.inst.pc + INST_SIZE)
+        elif cls is OpClass.RETURN:
+            predictor.ras.pop()
+
+    def recover_predictor_before(self, dyn: DynInst) -> None:
+        if dyn.map_checkpoint is not None:
+            self.state.predictor.restore(dyn.map_checkpoint)

@@ -1,0 +1,197 @@
+"""The in-order back end: the DIVA checker and retirement.
+
+:class:`CommitDiva` drains the head of the reorder buffer, re-executes every
+instruction on the architectural state through the DIVA checker, recovers
+from mis-integrations (modelled as a full pipeline flush plus a destination
+repair), and maintains the retirement-side statistics that the paper's
+evaluation is built on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.diva import DivaFault, SimulationError
+from repro.core.stages.base import (
+    INDIRECT_CLASSES,
+    PipelineState,
+    RecoveryController,
+)
+from repro.core.stats import IntegrationType, ResultStatus, distance_bucket
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import (
+    OpClass,
+    is_cond_branch,
+    is_fp,
+    is_load,
+    is_store,
+)
+from repro.isa.registers import REG_SP
+
+
+def integration_type(inst: StaticInst) -> Optional[IntegrationType]:
+    """Categorise an instruction for the Figure 5 "Type" breakdown."""
+    op = inst.op
+    if is_load(op):
+        if inst.ra == REG_SP:
+            return IntegrationType.LOAD_SP
+        return IntegrationType.LOAD_OTHER
+    if is_cond_branch(op):
+        return IntegrationType.BRANCH
+    if is_fp(op):
+        return IntegrationType.FP
+    if inst.info.cls in (OpClass.IALU, OpClass.IMUL):
+        return IntegrationType.ALU
+    return None
+
+
+class CommitDiva:
+    """DIVA check + in-order retirement (the commit point)."""
+
+    name = "commit"
+
+    def __init__(self, state: PipelineState, recovery: RecoveryController):
+        self.state = state
+        self.recovery = recovery
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        state = self.state
+        retired = 0
+        while retired < state.config.retire_width:
+            dyn = state.rob.head()
+            if dyn is None or not self._can_retire(dyn):
+                break
+            if is_store(dyn.op):
+                stall, accepted = state.mem.store(dyn.eff_addr or 0,
+                                                  state.cycle)
+                if not accepted:
+                    break
+            observed_value, observed_taken, observed_next_pc = \
+                self._observed_results(dyn)
+            step, fault = state.diva.check_and_commit(
+                dyn, observed_value, observed_taken, observed_next_pc)
+            if fault is not None:
+                self._handle_diva_fault(dyn, step, fault)
+                self._retire_commit(dyn)
+                retired += 1
+                break
+            self._retire_commit(dyn)
+            retired += 1
+            if state.arch.halted:
+                break
+
+    def flush(self, redirect_pc: int) -> None:
+        """Retirement is in-order and architectural; nothing speculative to
+        discard."""
+
+    # ------------------------------------------------------------------
+    def _can_retire(self, dyn: DynInst) -> bool:
+        state = self.state
+        if state.cycle <= dyn.rename_cycle + 1:
+            return False
+        if dyn.integrated:
+            if (dyn.dest_preg is not None
+                    and not state.prf.ready[dyn.dest_preg]):
+                return False
+            return True
+        return dyn.completed
+
+    def _observed_results(self, dyn: DynInst):
+        """Collect what the timing core believes this instruction produced."""
+        state = self.state
+        observed_value = None
+        observed_taken = None
+        observed_next_pc = None
+        inst = dyn.inst
+        cls = inst.info.cls
+        if is_store(inst.op):
+            observed_value = dyn.store_value
+        elif is_cond_branch(inst.op):
+            observed_taken = dyn.branch_taken
+        elif cls in INDIRECT_CLASSES:
+            observed_next_pc = dyn.next_pc
+        elif inst.dest_reg() is not None and dyn.dest_preg is not None:
+            observed_value = state.prf.value(dyn.dest_preg)
+        return observed_value, observed_taken, observed_next_pc
+
+    def _retire_commit(self, dyn: DynInst) -> None:
+        """Post-DIVA retirement bookkeeping and statistics."""
+        state = self.state
+        state.rob.pop_head()
+        state.renamer.commit(dyn)
+        if dyn.lsq_index:
+            state.lsq.remove(dyn)
+        dyn.retire_cycle = state.cycle
+        state.last_retire_cycle = state.cycle
+        state.predictions.pop(dyn.seq, None)
+        stats = state.stats
+        stats.retired += 1
+
+        itype = integration_type(dyn.inst)
+        if itype is not None:
+            stats.retired_by_type[itype] += 1
+        if is_cond_branch(dyn.op):
+            stats.retired_branches += 1
+            if dyn.branch_mispredicted or dyn.mis_integrated:
+                stats.retired_mispredicted_branches += 1
+                stats.branch_resolution_latency_sum += max(
+                    0, dyn.complete_cycle - dyn.fetch_cycle)
+        if dyn.integrated and not dyn.mis_integrated:
+            if dyn.reverse_integrated:
+                stats.integrated_reverse += 1
+                if itype is not None:
+                    stats.reverse_by_type[itype] += 1
+            else:
+                stats.integrated_direct += 1
+            if itype is not None:
+                stats.integration_by_type[itype] += 1
+            stats.integration_distance[
+                distance_bucket(dyn.integration_distance)] += 1
+            if dyn.integration_status is not None:
+                stats.integration_status[dyn.integration_status] += 1
+            if dyn.integration_refcount:
+                stats.integration_refcount[dyn.integration_refcount] += 1
+
+    def _handle_diva_fault(self, dyn: DynInst, step,
+                           fault: DivaFault) -> None:
+        """Recover from a mis-integration (or other value fault).
+
+        The paper models recovery as a complete pipeline flush.  We squash
+        every younger instruction, repair the faulting instruction's
+        destination mapping with a freshly allocated register holding the
+        architecturally correct value, and restart fetch at the correct
+        next PC.
+        """
+        state = self.state
+        if not dyn.integrated:
+            raise SimulationError(
+                f"DIVA fault on non-integrated instruction {dyn} "
+                f"({fault.kind}): timing core produced "
+                f"{fault.observed_value!r}, expected {fault.correct_value!r}")
+        dyn.mis_integrated = True
+        state.stats.mis_integrations += 1
+        if is_load(dyn.op):
+            state.stats.load_mis_integrations += 1
+            state.integration.train_lisp(dyn.inst.pc)
+        else:
+            state.stats.register_mis_integrations += 1
+
+        squashed = state.rob.squash_younger_than(dyn.seq)
+        self.recovery.do_squash(squashed, redirect_pc=step.next_pc)
+        self.recovery.recover_predictor_after(dyn,
+                                              taken=bool(step.taken),
+                                              target=step.next_pc)
+        # Repair the destination mapping with the correct value.
+        dest = dyn.inst.dest_reg()
+        if (dest is not None and dyn.dest_preg is not None
+                and fault.kind == "value"):
+            state.prf.release(dyn.dest_preg)
+            fresh = state.prf.allocate(ready=True, value=step.dest_value)
+            if fresh is None:
+                raise SimulationError("no physical register available for "
+                                      "mis-integration repair")
+            state.map_table.set(dest, fresh, state.prf.gen[fresh])
+            dyn.dest_preg = fresh
+            dyn.dest_gen = state.prf.gen[fresh]
+            state.preg_producer[fresh] = dyn

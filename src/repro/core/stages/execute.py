@@ -1,0 +1,222 @@
+"""The out-of-order execution engine: schedule, register read, execute,
+writeback.
+
+:class:`IssueExecute` owns the wakeup and completion event queues, selects
+ready instructions from the reservation stations, models execution and
+memory-access latencies, and resolves branches, indirect jumps and stores as
+their results become available.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.core.diva import SimulationError
+from repro.core.stages.base import (
+    ALU_CLASSES,
+    INDIRECT_CLASSES,
+    PipelineState,
+    RecoveryController,
+)
+from repro.isa import semantics
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.isa.program import INST_SIZE
+
+
+class IssueExecute:
+    """Scheduler + functional units + load/store pipeline."""
+
+    name = "execute"
+
+    def __init__(self, state: PipelineState, recovery: RecoveryController):
+        self.state = state
+        self.recovery = recovery
+        self.wakeup_events: Dict[int, List] = defaultdict(list)
+        self.complete_events: Dict[int, List[DynInst]] = defaultdict(list)
+
+    # ==================================================================
+    # writeback: wakeups and completions scheduled in earlier cycles
+    # ==================================================================
+    def writeback(self) -> None:
+        state = self.state
+        wakeups = self.wakeup_events.pop(state.cycle, None)
+        if wakeups:
+            for dyn, value in wakeups:
+                if dyn.squashed or dyn.dest_preg is None:
+                    continue
+                state.prf.set_value(dyn.dest_preg, value)
+        completions = self.complete_events.pop(state.cycle, None)
+        if completions:
+            for dyn in completions:
+                if dyn.squashed:
+                    continue
+                self._complete(dyn)
+
+    def _complete(self, dyn: DynInst) -> None:
+        dyn.completed = True
+        dyn.executed = True
+        dyn.complete_cycle = self.state.cycle
+        cls = dyn.inst.info.cls
+        if cls is OpClass.COND_BRANCH:
+            self._resolve_branch(dyn)
+        elif cls in INDIRECT_CLASSES:
+            self._resolve_indirect(dyn)
+        elif cls is OpClass.STORE:
+            self._resolve_store(dyn)
+
+    # ------------------------------------------------------------------
+    def _resolve_branch(self, dyn: DynInst) -> None:
+        """Resolution of an executed (non-integrated) conditional branch."""
+        state = self.state
+        taken = dyn.branch_taken
+        target = dyn.next_pc
+        state.integration.record_branch_outcome(dyn, taken)
+        prediction = state.predictions.get(dyn.seq)
+        if prediction is None:
+            return
+        mispredicted = state.predictor.resolve(dyn.inst, prediction, taken,
+                                               target)
+        if mispredicted:
+            dyn.branch_mispredicted = True
+            self.recovery.squash_younger(dyn, redirect_pc=target)
+
+    def _resolve_indirect(self, dyn: DynInst) -> None:
+        state = self.state
+        target = dyn.next_pc
+        prediction = state.predictions.get(dyn.seq)
+        if prediction is None:
+            return
+        mispredicted = state.predictor.resolve(dyn.inst, prediction, True,
+                                               target)
+        if mispredicted:
+            dyn.branch_mispredicted = True
+            self.recovery.squash_younger(dyn, redirect_pc=target)
+
+    def _resolve_store(self, dyn: DynInst) -> None:
+        state = self.state
+        violations = state.lsq.resolve_store(dyn, dyn.eff_addr)
+        if not violations:
+            return
+        victim = violations[0]
+        victim.mem_mispeculated = True
+        state.stats.memory_order_violations += 1
+        state.cht.train(victim.inst.pc)
+        self.recovery.squash_from(victim, redirect_pc=victim.pc)
+
+    # ==================================================================
+    # issue + execute
+    # ==================================================================
+    def tick(self) -> None:
+        selected = self.state.rs.select(self._operands_ready,
+                                        self._load_can_issue)
+        for dyn in selected:
+            self._execute(dyn)
+
+    def flush(self, redirect_pc: int) -> None:
+        """Scheduled events survive a squash; squashed producers are
+        filtered when their events fire."""
+
+    def _operands_ready(self, dyn: DynInst) -> bool:
+        ready = self.state.prf.ready
+        for preg in dyn.src_pregs:
+            if not ready[preg]:
+                return False
+        return True
+
+    def _load_can_issue(self, dyn: DynInst) -> bool:
+        state = self.state
+        base = state.prf.value(dyn.src_pregs[0])
+        addr = semantics.effective_address(base, dyn.inst.imm)
+        if (state.cht.predicts_collision(dyn.inst.pc)
+                and state.lsq.older_stores_unresolved(dyn)):
+            return False
+        store, data_ready = state.lsq.forward_from(dyn, addr)
+        if store is not None and not data_ready:
+            return False
+        return True
+
+    def _execute(self, dyn: DynInst) -> None:
+        state = self.state
+        config = state.config
+        dyn.issued = True
+        dyn.issue_cycle = state.cycle
+        state.stats.issued += 1
+        inst = dyn.inst
+        cls = inst.info.cls
+        values = [state.prf.value(p) for p in dyn.src_pregs]
+        dyn.src_values = values
+        regread = config.regread_stages
+        wb = config.writeback_stages
+
+        if cls in ALU_CLASSES:
+            a = values[0] if values else 0
+            b = values[1] if len(values) > 1 else 0
+            result = semantics.evaluate(inst.op, a, b, inst.imm)
+            dyn.result = result
+            latency = inst.info.latency
+            self._schedule_wakeup(dyn, latency, result)
+            self._schedule_complete(dyn, regread + latency + wb)
+        elif cls is OpClass.COND_BRANCH:
+            taken = semantics.branch_taken(inst.op, values[0])
+            dyn.branch_taken = taken
+            dyn.next_pc = inst.target if taken else inst.pc + INST_SIZE
+            self._schedule_complete(dyn, regread + 1 + wb)
+        elif cls in INDIRECT_CLASSES:
+            target = int(values[0]) & semantics.MASK64
+            dyn.next_pc = target
+            if cls is OpClass.CALL_INDIRECT and dyn.dest_preg is not None:
+                link = inst.pc + INST_SIZE
+                dyn.result = link
+                self._schedule_wakeup(dyn, 1, link)
+            self._schedule_complete(dyn, regread + 1 + wb)
+        elif cls is OpClass.LOAD:
+            self._execute_load(dyn, values)
+        elif cls is OpClass.STORE:
+            self._execute_store(dyn, values)
+        else:  # pragma: no cover - such classes never enter the RS
+            raise SimulationError(f"unexpected issue of {dyn}")
+
+    def _execute_load(self, dyn: DynInst, values) -> None:
+        state = self.state
+        config = state.config
+        inst = dyn.inst
+        agen = config.memsys.address_generation_latency
+        addr = semantics.effective_address(values[0], inst.imm)
+        dyn.eff_addr = addr
+        state.lsq.record_load(dyn, addr)
+        state.stats.executed_loads += 1
+        store, _ = state.lsq.forward_from(dyn, addr)
+        if store is not None:
+            latency = agen + config.memsys.store_forward_latency
+            value = store.store_value
+        else:
+            access = state.mem.load(addr, state.cycle + agen)
+            latency = agen + access.latency
+            value = state.arch.memory.read(addr)
+        value = semantics.narrow_load_value(inst.op, value)
+        dyn.result = value
+        self._schedule_wakeup(dyn, latency, value)
+        self._schedule_complete(dyn, config.regread_stages + latency
+                                + config.writeback_stages)
+
+    def _execute_store(self, dyn: DynInst, values) -> None:
+        state = self.state
+        config = state.config
+        inst = dyn.inst
+        data, base = values[0], values[1]
+        addr = semantics.effective_address(base, inst.imm)
+        dyn.eff_addr = addr
+        dyn.store_value = semantics.narrow_store_value(inst.op, data)
+        state.stats.executed_stores += 1
+        agen = config.memsys.address_generation_latency
+        self._schedule_complete(dyn, config.regread_stages + agen
+                                + config.writeback_stages)
+
+    def _schedule_wakeup(self, dyn: DynInst, delay: int, value) -> None:
+        self.wakeup_events[self.state.cycle + max(1, delay)].append(
+            (dyn, value))
+
+    def _schedule_complete(self, dyn: DynInst, delay: int) -> None:
+        self.complete_events[self.state.cycle + max(1, delay)].append(dyn)

@@ -1,0 +1,81 @@
+"""The in-order front end: fetch and decode.
+
+:class:`FrontEnd` owns the fetch program counter, the fetch/decode queue and
+the interaction with the branch predictor and the instruction-side memory
+path.  Fetched instructions are tagged with the cycle at which they become
+visible to rename (modelling the 3 fetch + 1 decode stage latency plus any
+instruction-cache miss stall).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.core.stages.base import PipelineState
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import is_branch
+from repro.isa.program import INST_SIZE
+
+
+class FrontEnd:
+    """Fetch + decode: keeps the rename stage fed with predicted-path work."""
+
+    name = "frontend"
+
+    def __init__(self, state: PipelineState):
+        self.state = state
+        self.fetch_pc = state.program.entry
+        self.fetch_resume_cycle = 0
+        self.fetch_halted = False
+        #: (DynInst, rename_ready_cycle) pairs in fetch order.
+        self.fetch_queue: Deque[Tuple[DynInst, int]] = deque()
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        state = self.state
+        config = state.config
+        if (self.fetch_halted or state.cycle < self.fetch_resume_cycle
+                or len(self.fetch_queue) >= config.fetch_queue_size):
+            return
+        first = state.program.at(self.fetch_pc)
+        if first is None:
+            self.fetch_halted = True
+            return
+        access = state.mem.ifetch(self.fetch_pc, state.cycle)
+        ready_cycle = (state.cycle + config.fetch_stages + config.decode_stages
+                       + max(0, access.latency - 1))
+        for _ in range(config.fetch_width):
+            inst = state.program.at(self.fetch_pc)
+            if inst is None:
+                self.fetch_halted = True
+                break
+            state.seq += 1
+            dyn = DynInst(state.seq, inst)
+            dyn.fetch_cycle = state.cycle
+            dyn.call_depth = state.predictor.call_depth
+            dyn.map_checkpoint = state.predictor.snapshot()
+            prediction = state.predictor.predict(inst)
+            dyn.pred_taken = prediction.taken
+            dyn.pred_next_pc = prediction.target
+            if is_branch(inst.op):
+                state.predictions[dyn.seq] = prediction
+            state.stats.fetched += 1
+            self.fetch_queue.append((dyn, ready_cycle))
+            if is_branch(inst.op) and prediction.taken:
+                self.fetch_pc = prediction.target
+                break
+            self.fetch_pc = inst.pc + INST_SIZE
+
+    # ------------------------------------------------------------------
+    def flush(self, redirect_pc: int) -> None:
+        """Drop all fetched-but-unrenamed work and redirect fetch."""
+        state = self.state
+        for dyn, _ in self.fetch_queue:
+            dyn.squashed = True
+            state.predictions.pop(dyn.seq, None)
+            state.stats.squashed += 1
+        self.fetch_queue.clear()
+        self.fetch_pc = redirect_pc
+        self.fetch_resume_cycle = state.cycle + 1
+        self.fetch_halted = False

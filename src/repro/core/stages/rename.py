@@ -1,0 +1,200 @@
+"""The rename stage, where register integration happens.
+
+:class:`RenameIntegrate` pulls decoded instructions from the front-end
+queue, renames their sources, consults the integration table and either
+points the instruction at an existing physical register (integration: the
+instruction leaves the pipeline here, never issuing) or allocates a fresh
+destination and dispatches it to the out-of-order engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.diva import SimulationError
+from repro.core.stages.base import (
+    PipelineState,
+    RecoveryController,
+    RENAME_COMPLETE_CLASSES,
+    RS_CLASSES,
+)
+from repro.core.stages.frontend import FrontEnd
+from repro.core.stats import ResultStatus
+from repro.integration.config import LispMode
+from repro.isa import semantics
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass, is_cond_branch, is_load
+from repro.isa.program import INST_SIZE
+
+
+class RenameIntegrate:
+    """Rename + integration: the paper's modified register-rename stage."""
+
+    name = "rename"
+
+    def __init__(self, state: PipelineState, frontend: FrontEnd,
+                 recovery: RecoveryController):
+        self.state = state
+        self.frontend = frontend
+        self.recovery = recovery
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        state = self.state
+        config = state.config
+        fetch_queue = self.frontend.fetch_queue
+        renamed = 0
+        while renamed < config.rename_width and fetch_queue:
+            dyn, ready_cycle = fetch_queue[0]
+            if ready_cycle > state.cycle or state.rob.full:
+                break
+            cls = dyn.inst.info.cls
+            needs_rs = cls in RS_CLASSES
+            needs_lsq = cls in (OpClass.LOAD, OpClass.STORE)
+            if needs_rs and not state.rs.has_space():
+                break
+            if needs_lsq and not state.lsq.has_space():
+                break
+            # Remove the instruction from the front-end queue before renaming
+            # it: an integrated branch that redirects fetch flushes the queue
+            # and must not flush itself.
+            fetch_queue.popleft()
+            if not self._rename_one(dyn):
+                fetch_queue.appendleft((dyn, ready_cycle))
+                break
+            dyn.rename_cycle = state.cycle
+            state.rob.push(dyn)
+            state.stats.renamed += 1
+            renamed += 1
+            # An integrated branch that redirected fetch ends the rename
+            # group (everything behind it in the queue was flushed).
+            if dyn.branch_mispredicted and dyn.integrated:
+                break
+
+    def flush(self, redirect_pc: int) -> None:
+        """Rename holds no inter-cycle state; nothing to discard."""
+
+    # ------------------------------------------------------------------
+    def _rename_one(self, dyn: DynInst) -> bool:
+        """Rename (or integrate) one instruction; False means stall."""
+        state = self.state
+        inst = dyn.inst
+        cls = inst.info.cls
+        state.renamer.lookup_sources(dyn)
+
+        oracle = None
+        if (state.config.integration.lisp_mode is LispMode.ORACLE
+                and is_load(inst.op)):
+            oracle = self._oracle_allow
+        decision = state.integration.consider(dyn, dyn.call_depth,
+                                              oracle_allow=oracle)
+        if decision.suppressed_by_lisp or decision.suppressed_by_oracle:
+            state.stats.lisp_suppressed += 1
+
+        if decision.integrate:
+            if self._apply_integration(dyn, decision):
+                return True
+            state.stats.refcount_saturation_failures += 1
+
+        result = state.renamer.allocate_dest(dyn)
+        if result is None:
+            return False
+        if result.allocated:
+            state.preg_producer[dyn.dest_preg] = dyn
+        state.integration.create_entries(dyn, dyn.call_depth)
+
+        if cls is OpClass.CALL_DIRECT:
+            link = inst.pc + INST_SIZE
+            if dyn.dest_preg is not None:
+                state.prf.set_value(dyn.dest_preg, link)
+            dyn.result = link
+            self._mark_rename_complete(dyn)
+        elif cls in RENAME_COMPLETE_CLASSES:
+            self._mark_rename_complete(dyn)
+        else:
+            state.rs.insert(dyn)
+            if cls in (OpClass.LOAD, OpClass.STORE):
+                state.lsq.insert(dyn)
+            dyn.dispatch_cycle = state.cycle
+        return True
+
+    def _mark_rename_complete(self, dyn: DynInst) -> None:
+        dyn.executed = True
+        dyn.completed = True
+        dyn.complete_cycle = self.state.cycle
+
+    # ------------------------------------------------------------------
+    def _apply_integration(self, dyn: DynInst, decision) -> bool:
+        """Point the instruction at the matched IT entry's result."""
+        state = self.state
+        entry = decision.entry
+        if is_cond_branch(dyn.op):
+            self._integrate_branch(dyn, entry)
+            return True
+        status = self._result_status(entry.out)
+        if not state.renamer.integrate_dest(dyn, entry.out, entry.out_gen):
+            return False
+        dyn.integrated = True
+        dyn.reverse_integrated = entry.is_reverse
+        dyn.integration_distance = max(0, dyn.seq - entry.creator_seq)
+        dyn.integration_status = status
+        dyn.integration_refcount = state.prf.refcount[entry.out]
+        self._mark_rename_complete(dyn)
+        return True
+
+    def _integrate_branch(self, dyn: DynInst, entry) -> None:
+        """An integrating conditional branch resolves at rename."""
+        state = self.state
+        inst = dyn.inst
+        outcome = bool(entry.branch_outcome)
+        dyn.integrated = True
+        dyn.reverse_integrated = entry.is_reverse
+        dyn.integration_distance = max(0, dyn.seq - entry.creator_seq)
+        dyn.branch_taken = outcome
+        dyn.next_pc = inst.target if outcome else inst.pc + INST_SIZE
+        self._mark_rename_complete(dyn)
+        prediction = state.predictions.get(dyn.seq)
+        if prediction is None:
+            return
+        mispredicted = state.predictor.resolve(inst, prediction, outcome,
+                                               dyn.next_pc)
+        if mispredicted:
+            # Early resolution at rename: nothing younger has been renamed
+            # yet, so only the front-end queues need flushing.
+            dyn.branch_mispredicted = True
+            self.frontend.flush(dyn.next_pc)
+            self.recovery.recover_predictor_after(dyn, outcome, dyn.next_pc)
+
+    def _result_status(self, preg: int) -> ResultStatus:
+        """State of the to-be-integrated result (Figure 5 Status breakdown)."""
+        state = self.state
+        if state.prf.refcount[preg] == 0:
+            return ResultStatus.SHADOW_SQUASH
+        producer = state.preg_producer.get(preg)
+        if producer is None or producer.retire_cycle >= 0:
+            return ResultStatus.RETIRE
+        if producer.issued or producer.completed:
+            return ResultStatus.ISSUE
+        return ResultStatus.RENAME
+
+    def _oracle_allow(self, dyn: DynInst, entry) -> bool:
+        """Approximate oracle load-suppression: allow the integration only if
+        the value it would reuse matches the best currently-knowable value of
+        the load (store-queue forwarding or committed memory)."""
+        state = self.state
+        if entry.out is None or not state.prf.ready[entry.out]:
+            return True
+        base_preg = dyn.src_pregs[0]
+        if not state.prf.ready[base_preg]:
+            return True
+        addr = semantics.effective_address(state.prf.value(base_preg),
+                                           dyn.inst.imm)
+        store, data_ready = state.lsq.forward_from(dyn, addr)
+        if store is not None:
+            if not data_ready:
+                return True
+            expected = store.store_value
+        else:
+            expected = state.arch.memory.read(addr)
+        expected = semantics.narrow_load_value(dyn.op, expected)
+        return expected == state.prf.value(entry.out)

@@ -10,10 +10,11 @@ counts and reservation-station occupancy.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 
 class IntegrationType(enum.Enum):
@@ -173,6 +174,55 @@ class SimStats:
         within = sum(count for rc, count in self.integration_refcount.items()
                      if rc <= limit)
         return within / self.integrated
+
+    # ------------------------------------------------------------------
+    # canonical serialization (used by the on-disk result cache)
+    # ------------------------------------------------------------------
+    #: Counter fields keyed by an enum (serialized via the enum value).
+    _ENUM_COUNTERS = {
+        "integration_by_type": IntegrationType,
+        "reverse_by_type": IntegrationType,
+        "integration_status": ResultStatus,
+        "retired_by_type": IntegrationType,
+    }
+    #: Counter fields keyed by a plain int.
+    _INT_COUNTERS = ("integration_distance", "integration_refcount")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON rendering: counters become {key: count} dicts."""
+        out: Dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Counter):
+                if f.name in self._ENUM_COUNTERS:
+                    out[f.name] = {key.value: count
+                                   for key, count in value.items()}
+                else:
+                    out[f.name] = {str(key): count
+                                   for key, count in value.items()}
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimStats":
+        """Inverse of :meth:`to_dict`; rejects unknown fields."""
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - field_names
+        if unknown:
+            raise ValueError(f"unknown SimStats fields: {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {}
+        for name, value in data.items():
+            if name in cls._ENUM_COUNTERS:
+                enum_cls = cls._ENUM_COUNTERS[name]
+                kwargs[name] = Counter({enum_cls(key): count
+                                        for key, count in value.items()})
+            elif name in cls._INT_COUNTERS:
+                kwargs[name] = Counter({int(key): count
+                                        for key, count in value.items()})
+            else:
+                kwargs[name] = value
+        return cls(**kwargs)
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, float]:

@@ -1,6 +1,7 @@
 """Experiment harness: one module per table/figure of the paper's evaluation.
 
-* :mod:`repro.experiments.runner`     -- shared machinery for running suites
+* :mod:`repro.experiments.runner`     -- the parallel, disk-cached run engine
+* :mod:`repro.experiments.cache`      -- content-addressed on-disk results
 * :mod:`repro.experiments.figure4`    -- extension-by-extension speedups and
   integration rates (Figure 4), realistic vs oracle LISP
 * :mod:`repro.experiments.figure5`    -- integration-stream breakdowns
@@ -16,18 +17,30 @@ Each module exposes ``run(...)`` returning a structured result and
 ``report(result)`` returning the paper-style text table.
 """
 
+from repro.experiments.cache import ResultCache, code_version, result_key
 from repro.experiments.runner import (
     DEFAULT_BENCHMARKS,
     FAST_BENCHMARKS,
+    SMOKE_BENCHMARKS,
+    clear_cache,
+    default_jobs,
     default_scale,
     run_benchmark,
     run_suite,
+    telemetry,
 )
 
 __all__ = [
     "DEFAULT_BENCHMARKS",
     "FAST_BENCHMARKS",
+    "SMOKE_BENCHMARKS",
+    "ResultCache",
+    "clear_cache",
+    "code_version",
+    "default_jobs",
     "default_scale",
+    "result_key",
     "run_benchmark",
     "run_suite",
+    "telemetry",
 ]

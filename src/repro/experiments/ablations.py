@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.metrics import arithmetic_mean, format_table
 from repro.core import MachineConfig, SimStats
-from repro.experiments.runner import FAST_BENCHMARKS, run_benchmark
+from repro.experiments.runner import FAST_BENCHMARKS, run_suite
 from repro.integration.config import IndexScheme, IntegrationConfig, LispMode
 
 
@@ -65,16 +65,14 @@ def ablation_configs() -> Dict[str, IntegrationConfig]:
 def run(benchmarks: Optional[Iterable[str]] = None,
         scale: Optional[float] = None,
         machine: Optional[MachineConfig] = None,
-        configs: Optional[Dict[str, IntegrationConfig]] = None
-        ) -> AblationResult:
+        configs: Optional[Dict[str, IntegrationConfig]] = None,
+        jobs: Optional[int] = None) -> AblationResult:
     benchmarks = list(benchmarks or FAST_BENCHMARKS)
     machine = machine or MachineConfig()
     configs = configs or ablation_configs()
-    results: Dict[str, Dict[str, SimStats]] = {}
-    for label, icfg in configs.items():
-        cfg = machine.with_integration(icfg)
-        results[label] = {name: run_benchmark(name, cfg, scale=scale)
-                          for name in benchmarks}
+    suite_configs = {label: machine.with_integration(icfg)
+                     for label, icfg in configs.items()}
+    results = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs)
     return AblationResult(benchmarks=benchmarks, results=results)
 
 

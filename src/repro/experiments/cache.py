@@ -1,0 +1,185 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Every simulation is deterministic, so a :class:`~repro.core.stats.SimStats`
+result is fully determined by (benchmark, workload scale, machine-config
+fingerprint, simulator code version).  :class:`ResultCache` stores results
+as canonical JSON (via :meth:`SimStats.to_dict` -- deliberately not pickle,
+so loading an entry from a shared or tampered cache directory can never
+execute code) under a key hashing exactly that tuple, which makes re-runs
+of whole figure sweeps near-instant and makes the cache self-invalidating:
+any change to any configuration field (via :meth:`MachineConfig.fingerprint`)
+or to any simulator source file (via :func:`code_version`) changes the key.
+
+The cache is best-effort: store failures (unwritable directory, full disk)
+are swallowed so a long sweep never loses its computed results to cache
+I/O, and unreadable or corrupt entries are treated as misses.
+
+The cache directory defaults to ``~/.cache/repro`` (respecting
+``XDG_CACHE_HOME``) and can be redirected with ``REPRO_CACHE_DIR``; setting
+``REPRO_DISK_CACHE=0`` disables the disk layer entirely (the in-process
+memoization in :mod:`repro.experiments.runner` still applies).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.core.stats import SimStats
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_DISK_CACHE = "REPRO_DISK_CACHE"
+
+_code_version: Optional[str] = None
+
+
+def cache_dir() -> Path:
+    """Resolve the cache root from the environment."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def disk_cache_enabled() -> bool:
+    return os.environ.get(ENV_DISK_CACHE, "1").lower() not in (
+        "0", "false", "no", "off")
+
+
+def code_version() -> str:
+    """Hash of every simulator source file, part of every cache key.
+
+    Computed once per process over the ``repro`` package sources, so editing
+    any simulator module automatically invalidates previously cached
+    results.
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def result_key(benchmark: str, scale: float, config: Any) -> str:
+    """The content address of one simulation result."""
+    material = "|".join((
+        benchmark,
+        repr(float(scale)),
+        config.fingerprint(),
+        code_version(),
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """JSON-per-result cache laid out as ``<root>/<kk>/<key>.json``."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SimStats]:
+        """Return the cached result, or None on miss/corruption.
+
+        A transient read error (EIO, stale handle) is a plain miss -- the
+        entry stays on disk.  A decode failure means the entry is corrupt
+        (or from an incompatible schema), so it is dropped.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = SimStats.from_dict(json.loads(raw.decode("utf-8")))
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: SimStats) -> None:
+        """Atomically persist one result, best-effort.
+
+        Encoding errors propagate (they are programming errors), but cache
+        I/O failures -- unwritable directory, full disk -- are swallowed:
+        losing a cache write must never lose the computed result.
+        """
+        payload = json.dumps(result.to_dict(), sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def info(self) -> Dict[str, Any]:
+        """Summary of what is on disk (for ``repro cache info``)."""
+        entries = 0
+        total_bytes = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.json"):
+                entries += 1
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    pass
+        return {
+            "root": str(self.root),
+            "enabled": disk_cache_enabled(),
+            "entries": entries,
+            "bytes": total_bytes,
+            "code_version": code_version(),
+        }
+
+    def clear(self) -> int:
+        """Delete every cached result; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for sub in self.root.iterdir():
+                if sub.is_dir():
+                    shutil.rmtree(sub, ignore_errors=True)
+        return removed

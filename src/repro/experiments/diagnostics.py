@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.metrics import arithmetic_mean, format_table
 from repro.core import MachineConfig, SimStats
-from repro.experiments.runner import DEFAULT_BENCHMARKS, run_benchmark
+from repro.experiments.runner import DEFAULT_BENCHMARKS, run_suite
 from repro.integration.config import IntegrationConfig
 
 
@@ -50,17 +50,17 @@ class DiagnosticsResult:
 
 def run(benchmarks: Optional[Iterable[str]] = None,
         scale: Optional[float] = None,
-        machine: Optional[MachineConfig] = None) -> DiagnosticsResult:
+        machine: Optional[MachineConfig] = None,
+        jobs: Optional[int] = None) -> DiagnosticsResult:
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     machine = machine or MachineConfig()
-    base_cfg = machine.with_integration(IntegrationConfig.disabled())
-    full_cfg = machine.with_integration(IntegrationConfig.full())
-    without = {name: run_benchmark(name, base_cfg, scale=scale)
-               for name in benchmarks}
-    with_integration = {name: run_benchmark(name, full_cfg, scale=scale)
-                        for name in benchmarks}
-    return DiagnosticsResult(benchmarks=benchmarks, without=without,
-                             with_integration=with_integration)
+    suite = run_suite(
+        benchmarks,
+        {"none": machine.with_integration(IntegrationConfig.disabled()),
+         "integration": machine.with_integration(IntegrationConfig.full())},
+        scale=scale, jobs=jobs)
+    return DiagnosticsResult(benchmarks=benchmarks, without=suite["none"],
+                             with_integration=suite["integration"])
 
 
 def report(result: DiagnosticsResult) -> str:

@@ -22,7 +22,7 @@ from repro.analysis.metrics import (
     speedup,
 )
 from repro.core import MachineConfig, SimStats
-from repro.experiments.runner import DEFAULT_BENCHMARKS, run_benchmark
+from repro.experiments.runner import DEFAULT_BENCHMARKS, run_suite
 from repro.integration.config import IntegrationConfig, LispMode
 
 #: The four extension configurations, in the paper's bar order.
@@ -94,25 +94,27 @@ def run(benchmarks: Optional[Iterable[str]] = None,
         scale: Optional[float] = None,
         machine: Optional[MachineConfig] = None,
         lisp_modes: Iterable[LispMode] = (LispMode.REALISTIC, LispMode.ORACLE),
+        jobs: Optional[int] = None,
         ) -> Figure4Result:
-    """Run the Figure 4 experiment matrix."""
+    """Run the Figure 4 experiment matrix (one job per benchmark/config)."""
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
+    lisp_modes = tuple(lisp_modes)
     machine = machine or MachineConfig()
 
-    baseline_cfg = machine.with_integration(IntegrationConfig.disabled())
-    baseline = {name: run_benchmark(name, baseline_cfg, scale=scale)
-                for name in benchmarks}
-
-    results: Dict[str, Dict[str, Dict[str, SimStats]]] = {}
+    suite_configs = {
+        "baseline": machine.with_integration(IntegrationConfig.disabled()),
+    }
     for extension in EXTENSION_CONFIGS:
-        results[extension] = {}
         for lisp in lisp_modes:
-            cfg = machine.with_integration(
+            suite_configs[f"{extension}/{lisp.value}"] = machine.with_integration(
                 integration_config_for(extension, lisp))
-            results[extension][lisp.value] = {
-                name: run_benchmark(name, cfg, scale=scale)
-                for name in benchmarks}
-    return Figure4Result(benchmarks=benchmarks, baseline=baseline,
+    suite = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs)
+
+    results: Dict[str, Dict[str, Dict[str, SimStats]]] = {
+        extension: {lisp.value: suite[f"{extension}/{lisp.value}"]
+                    for lisp in lisp_modes}
+        for extension in EXTENSION_CONFIGS}
+    return Figure4Result(benchmarks=benchmarks, baseline=suite["baseline"],
                          results=results)
 
 

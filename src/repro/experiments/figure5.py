@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.analysis import breakdowns
 from repro.core import MachineConfig, SimStats
-from repro.experiments.runner import FAST_BENCHMARKS, run_benchmark
+from repro.experiments.runner import FAST_BENCHMARKS, run_suite
 from repro.integration.config import IntegrationConfig
 
 
@@ -49,14 +49,14 @@ class Figure5Result:
 
 def run(benchmarks: Optional[Iterable[str]] = None,
         scale: Optional[float] = None,
-        machine: Optional[MachineConfig] = None) -> Figure5Result:
+        machine: Optional[MachineConfig] = None,
+        jobs: Optional[int] = None) -> Figure5Result:
     """Run the breakdown experiment (full integration configuration)."""
     benchmarks = list(benchmarks or FAST_BENCHMARKS)
     machine = machine or MachineConfig()
     cfg = machine.with_integration(IntegrationConfig.full())
-    stats = {name: run_benchmark(name, cfg, scale=scale)
-             for name in benchmarks}
-    return Figure5Result(benchmarks=benchmarks, stats=stats)
+    suite = run_suite(benchmarks, {"full": cfg}, scale=scale, jobs=jobs)
+    return Figure5Result(benchmarks=benchmarks, stats=suite["full"])
 
 
 def report(result: Figure5Result) -> str:

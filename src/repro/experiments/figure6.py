@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.metrics import format_table, geometric_mean, speedup
 from repro.core import MachineConfig, SimStats
-from repro.experiments.runner import FAST_BENCHMARKS, run_benchmark
+from repro.experiments.runner import FAST_BENCHMARKS, run_suite
 from repro.integration.config import IntegrationConfig, LispMode
 
 ASSOCIATIVITIES = (1, 2, 4, 0)          # 0 = fully associative
@@ -61,31 +61,32 @@ def run(benchmarks: Optional[Iterable[str]] = None,
         machine: Optional[MachineConfig] = None,
         lisp: LispMode = LispMode.REALISTIC,
         associativities: Iterable[int] = ASSOCIATIVITIES,
-        sizes: Iterable[int] = SIZES) -> Figure6Result:
+        sizes: Iterable[int] = SIZES,
+        jobs: Optional[int] = None) -> Figure6Result:
     benchmarks = list(benchmarks or FAST_BENCHMARKS)
+    associativities = tuple(associativities)
+    sizes = tuple(sizes)
     machine = machine or MachineConfig()
-    base_cfg = machine.with_integration(IntegrationConfig.disabled())
-    baseline = {name: run_benchmark(name, base_cfg, scale=scale)
-                for name in benchmarks}
 
-    assoc_results: Dict[str, Dict[str, SimStats]] = {}
+    suite_configs = {
+        "baseline": machine.with_integration(IntegrationConfig.disabled()),
+    }
     for assoc in associativities:
         icfg = IntegrationConfig.full(it_assoc=assoc, lisp_mode=lisp)
-        cfg = machine.with_integration(icfg)
-        assoc_results[_assoc_label(assoc)] = {
-            name: run_benchmark(name, cfg, scale=scale)
-            for name in benchmarks}
-
-    size_results: Dict[int, Dict[str, SimStats]] = {}
+        suite_configs[f"assoc/{_assoc_label(assoc)}"] = \
+            machine.with_integration(icfg)
     for size in sizes:
         pregs = max(1024, size)
         icfg = IntegrationConfig.full(it_entries=size, it_assoc=0,
                                       lisp_mode=lisp,
                                       num_physical_regs=pregs)
-        cfg = machine.with_integration(icfg)
-        size_results[size] = {name: run_benchmark(name, cfg, scale=scale)
-                              for name in benchmarks}
-    return Figure6Result(benchmarks=benchmarks, baseline=baseline,
+        suite_configs[f"size/{size}"] = machine.with_integration(icfg)
+    suite = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs)
+
+    assoc_results = {_assoc_label(assoc): suite[f"assoc/{_assoc_label(assoc)}"]
+                     for assoc in associativities}
+    size_results = {size: suite[f"size/{size}"] for size in sizes}
+    return Figure6Result(benchmarks=benchmarks, baseline=suite["baseline"],
                          assoc_results=assoc_results,
                          size_results=size_results)
 

@@ -21,7 +21,7 @@ from repro.analysis.metrics import (
     speedup,
 )
 from repro.core import MachineConfig, SimStats
-from repro.experiments.runner import DEFAULT_BENCHMARKS, run_benchmark
+from repro.experiments.runner import DEFAULT_BENCHMARKS, run_suite
 from repro.integration.config import IntegrationConfig, LispMode
 
 MACHINE_VARIANTS = ("base", "RS", "IW", "IW+RS")
@@ -91,22 +91,26 @@ def run(benchmarks: Optional[Iterable[str]] = None,
         scale: Optional[float] = None,
         machine: Optional[MachineConfig] = None,
         lisp: LispMode = LispMode.REALISTIC,
-        variants: Iterable[str] = MACHINE_VARIANTS) -> Figure7Result:
+        variants: Iterable[str] = MACHINE_VARIANTS,
+        jobs: Optional[int] = None) -> Figure7Result:
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
+    variants = tuple(variants)
     machine = machine or MachineConfig()
     integration_cfgs = {
         "none": IntegrationConfig.disabled(),
         "integration": IntegrationConfig.full(lisp_mode=lisp),
     }
-    results: Dict[str, Dict[str, Dict[str, SimStats]]] = {}
-    for variant in variants:
-        variant_machine = machine_variant(machine, variant)
-        results[variant] = {}
-        for int_name, icfg in integration_cfgs.items():
-            cfg = variant_machine.with_integration(icfg)
-            results[variant][int_name] = {
-                name: run_benchmark(name, cfg, scale=scale)
-                for name in benchmarks}
+    suite_configs = {
+        f"{variant}/{int_name}":
+            machine_variant(machine, variant).with_integration(icfg)
+        for variant in variants
+        for int_name, icfg in integration_cfgs.items()}
+    suite = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs)
+
+    results: Dict[str, Dict[str, Dict[str, SimStats]]] = {
+        variant: {int_name: suite[f"{variant}/{int_name}"]
+                  for int_name in integration_cfgs}
+        for variant in variants}
     return Figure7Result(benchmarks=benchmarks, results=results)
 
 

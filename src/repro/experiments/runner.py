@@ -1,17 +1,32 @@
-"""Shared experiment machinery.
+"""Shared experiment machinery: the parallel, disk-cached run engine.
 
 All experiments run synthetic benchmarks through :func:`repro.core.simulate`.
-Because every run is deterministic, results for a (benchmark, configuration,
-scale) triple are cached in-process so that, for example, the baseline run is
-shared between Figure 4 and Figure 7.
+Every simulation is deterministic, so one (benchmark, scale, config) triple
+maps to exactly one :class:`~repro.core.stats.SimStats`; results are cached
+at two levels:
+
+* an in-process memo (so e.g. the no-integration baseline is shared between
+  Figure 4 and Figure 7 within one run), and
+* the content-addressed on-disk :class:`~repro.experiments.cache.ResultCache`
+  keyed by benchmark x scale x config fingerprint x code version (so a warm
+  repeat of a whole figure sweep performs zero simulations).
+
+:func:`run_suite` is the fan-out point: it deduplicates the (benchmark,
+config) job matrix against both caches and executes the remaining jobs on a
+``multiprocessing`` pool when ``jobs > 1``.  Because simulation is
+deterministic, the parallel path returns bit-identical stats to the serial
+path.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core import MachineConfig, SimStats, simulate
+from repro.experiments.cache import ResultCache, disk_cache_enabled, result_key
 from repro.workloads import build_workload, workload_names
 
 #: The full benchmark list (paper Figure 4 order).
@@ -26,7 +41,25 @@ FAST_BENCHMARKS: Tuple[str, ...] = (
 #: An even smaller subset for smoke tests.
 SMOKE_BENCHMARKS: Tuple[str, ...] = ("gzip", "crafty", "mcf")
 
-_CACHE: Dict[Tuple, SimStats] = {}
+_MEMORY_CACHE: Dict[str, SimStats] = {}
+_DISK_CACHE: Optional[ResultCache] = None
+
+
+@dataclass
+class RunTelemetry:
+    """In-process counters describing where results came from."""
+
+    simulations: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    def reset(self) -> None:
+        self.simulations = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+
+
+telemetry = RunTelemetry()
 
 
 def default_scale() -> float:
@@ -39,14 +72,69 @@ def default_scale() -> float:
     return float(os.environ.get("REPRO_SCALE", "0.5"))
 
 
-def _config_key(config: MachineConfig) -> Tuple:
-    icfg = config.integration
-    return (
-        config.rs_entries, config.ports, config.rob_size, config.lsq_size,
-        icfg.enabled, icfg.general_reuse, icfg.index_scheme, icfg.reverse,
-        icfg.it_entries, icfg.it_assoc, icfg.lisp_mode, icfg.generation_bits,
-        icfg.refcount_bits, icfg.num_physical_regs, config.combined_ldst_port,
-    )
+def default_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit > ``REPRO_JOBS`` > serial.
+
+    ``0`` (or any non-positive value) means "one worker per CPU".
+    """
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or 1)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _disk_cache() -> Optional[ResultCache]:
+    """The process-wide disk cache (None when disabled)."""
+    global _DISK_CACHE
+    if not disk_cache_enabled():
+        return None
+    if _DISK_CACHE is None:
+        _DISK_CACHE = ResultCache()
+    return _DISK_CACHE
+
+
+def clear_cache(disk: bool = False) -> int:
+    """Drop the in-process memo (and optionally the on-disk cache)."""
+    global _DISK_CACHE
+    _MEMORY_CACHE.clear()
+    removed = 0
+    if disk:
+        cache = _disk_cache()
+        if cache is not None:
+            removed = cache.clear()
+    _DISK_CACHE = None
+    return removed
+
+
+def _simulate(benchmark: str, config: MachineConfig, scale: float) -> SimStats:
+    program = build_workload(benchmark, scale=scale)
+    telemetry.simulations += 1
+    return simulate(program, config, name=benchmark)
+
+
+def _cache_lookup(key: str) -> Optional[SimStats]:
+    """Memory first, then disk; disk hits are promoted to memory."""
+    stats = _MEMORY_CACHE.get(key)
+    if stats is not None:
+        telemetry.memory_hits += 1
+        return stats
+    disk = _disk_cache()
+    if disk is not None:
+        stats = disk.load(key)
+        if isinstance(stats, SimStats):
+            telemetry.disk_hits += 1
+            _MEMORY_CACHE[key] = stats
+            return stats
+    return None
+
+
+def _cache_store(key: str, stats: SimStats, to_disk: bool = True) -> None:
+    _MEMORY_CACHE[key] = stats
+    if to_disk:
+        disk = _disk_cache()
+        if disk is not None:
+            disk.store(key, stats)
 
 
 def run_benchmark(benchmark: str, config: MachineConfig,
@@ -54,32 +142,108 @@ def run_benchmark(benchmark: str, config: MachineConfig,
                   use_cache: bool = True) -> SimStats:
     """Simulate one benchmark under one machine configuration."""
     scale = default_scale() if scale is None else scale
-    key = (benchmark, scale, _config_key(config))
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    if not use_cache:
+        return _simulate(benchmark, config, scale)
+    key = result_key(benchmark, scale, config)
+    stats = _cache_lookup(key)
+    if stats is not None:
+        return stats
+    stats = _simulate(benchmark, config, scale)
+    _cache_store(key, stats)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# the parallel suite engine
+# ----------------------------------------------------------------------
+def _pool_worker(job: Tuple[str, str, MachineConfig, float, bool]
+                 ) -> Tuple[str, bool, SimStats]:
+    """Run one simulation job in a worker process.
+
+    Re-checks the disk cache in the child (cheap insurance against jobs
+    cached by a concurrent process) and persists the result before handing
+    it back, so a crashed parent loses nothing.
+    """
+    key, benchmark, config, scale, use_cache = job
+    disk = _disk_cache() if use_cache else None
+    if disk is not None:
+        stats = disk.load(key)
+        if isinstance(stats, SimStats):
+            return key, False, stats
     program = build_workload(benchmark, scale=scale)
     stats = simulate(program, config, name=benchmark)
-    if use_cache:
-        _CACHE[key] = stats
-    return stats
+    if disk is not None:
+        disk.store(key, stats)
+    return key, True, stats
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits sys.path) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
 
 
 def run_suite(benchmarks: Iterable[str],
               configs: Mapping[str, MachineConfig],
-              scale: Optional[float] = None
+              scale: Optional[float] = None,
+              jobs: Optional[int] = None,
+              use_cache: bool = True,
               ) -> Dict[str, Dict[str, SimStats]]:
     """Run every benchmark under every named configuration.
 
-    Returns ``results[config_name][benchmark] -> SimStats``.
+    Returns ``results[config_name][benchmark] -> SimStats``.  With
+    ``jobs > 1`` the uncached jobs run on a process pool; results are
+    bit-identical to the serial path because simulation is deterministic.
+    Identical configurations registered under different names are
+    deduplicated and simulated once.
     """
-    results: Dict[str, Dict[str, SimStats]] = {}
+    benchmarks = list(benchmarks)
+    scale = default_scale() if scale is None else scale
+    jobs = default_jobs(jobs)
+
+    results: Dict[str, Dict[str, SimStats]] = {name: {} for name in configs}
+    # One simulation per unique content key, however many names point at it.
+    placements: Dict[str, List[Tuple[str, str]]] = {}
+    job_specs: Dict[str, Tuple[str, MachineConfig]] = {}
     for config_name, config in configs.items():
-        results[config_name] = {}
         for benchmark in benchmarks:
-            results[config_name][benchmark] = run_benchmark(
-                benchmark, config, scale=scale)
+            key = result_key(benchmark, scale, config)
+            placements.setdefault(key, []).append((config_name, benchmark))
+            job_specs.setdefault(key, (benchmark, config))
+
+    pending: List[Tuple[str, str, MachineConfig]] = []
+    for key, (benchmark, config) in job_specs.items():
+        stats = _cache_lookup(key) if use_cache else None
+        if stats is None:
+            pending.append((key, benchmark, config))
+        else:
+            for config_name, bench in placements[key]:
+                results[config_name][bench] = stats
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            ctx = _pool_context()
+            payload = [(key, benchmark, config, scale, use_cache)
+                       for key, benchmark, config in pending]
+            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+                outcomes = pool.map(_pool_worker, payload)
+            for key, simulated, stats in outcomes:
+                if simulated:
+                    telemetry.simulations += 1
+                else:
+                    telemetry.disk_hits += 1
+                if use_cache:
+                    # The worker already persisted to disk.
+                    _cache_store(key, stats, to_disk=False)
+                for config_name, bench in placements[key]:
+                    results[config_name][bench] = stats
+        else:
+            for key, benchmark, config in pending:
+                stats = _simulate(benchmark, config, scale)
+                if use_cache:
+                    _cache_store(key, stats)
+                for config_name, bench in placements[key]:
+                    results[config_name][bench] = stats
     return results
-
-
-def clear_cache() -> None:
-    _CACHE.clear()

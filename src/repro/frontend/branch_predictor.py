@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.serialization import SerializableConfig
+
 from repro.isa.instruction import StaticInst
 from repro.isa.opcodes import OpClass
 from repro.isa.program import INST_SIZE
@@ -29,7 +31,7 @@ def _saturate(value: int, delta: int, lo: int = 0, hi: int = 3) -> int:
 
 
 @dataclass(frozen=True)
-class BranchPredictorConfig:
+class BranchPredictorConfig(SerializableConfig):
     """Sizes of the front-end prediction structures (paper defaults)."""
 
     bimodal_entries: int = 8192

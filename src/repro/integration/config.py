@@ -5,6 +5,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, replace
 
+from repro.serialization import SerializableConfig
+
 
 class IndexScheme(enum.Enum):
     """How the integration table is indexed (paper Section 2.3)."""
@@ -23,7 +25,7 @@ class LispMode(enum.Enum):
 
 
 @dataclass(frozen=True)
-class IntegrationConfig:
+class IntegrationConfig(SerializableConfig):
     """All integration parameters.
 
     The default values reproduce the paper's baseline configuration: a

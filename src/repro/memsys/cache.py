@@ -5,9 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.serialization import SerializableConfig
+
 
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig(SerializableConfig):
     """Geometry and latency of one cache level."""
 
     name: str

@@ -21,10 +21,11 @@ from typing import List, Optional, Tuple
 
 from repro.memsys.cache import Cache, CacheConfig
 from repro.memsys.tlb import TLB, TLBConfig
+from repro.serialization import SerializableConfig
 
 
 @dataclass(frozen=True)
-class MemSysConfig:
+class MemSysConfig(SerializableConfig):
     """Parameters of the whole hierarchy."""
 
     il1: CacheConfig = CacheConfig("il1", size_bytes=64 * 1024, line_bytes=32,

@@ -5,9 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.serialization import SerializableConfig
+
 
 @dataclass(frozen=True)
-class TLBConfig:
+class TLBConfig(SerializableConfig):
     """Geometry and miss penalty of a TLB."""
 
     name: str

@@ -1,0 +1,138 @@
+"""Canonical config serialization and fingerprinting.
+
+The regression targets here are the cache-collision bugs of the old
+hand-maintained ``_config_key`` tuple, which ignored the memory-system and
+branch-predictor sub-configurations entirely: two machines differing only in
+cache geometry or predictor sizing shared one cached result.  The
+fingerprint hashes the *whole* field tree, so any field difference anywhere
+must produce a distinct fingerprint.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import MachineConfig
+from repro.core.config import IssuePortConfig
+from repro.frontend.branch_predictor import BranchPredictorConfig
+from repro.integration.config import IndexScheme, IntegrationConfig, LispMode
+from repro.memsys.hierarchy import MemSysConfig
+from repro.serialization import from_dict, to_dict
+
+
+class TestRoundTrip:
+    def test_default_machine_roundtrip(self):
+        config = MachineConfig()
+        rebuilt = MachineConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.fingerprint() == config.fingerprint()
+
+    def test_nondefault_machine_roundtrip(self):
+        config = MachineConfig().reduced_both(20).with_integration(
+            IntegrationConfig.squash(lisp_mode=LispMode.ORACLE,
+                                     index_scheme=IndexScheme.OPCODE_IMM))
+        rebuilt = MachineConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.combined_ldst_port
+        assert rebuilt.integration.lisp_mode is LispMode.ORACLE
+        assert rebuilt.integration.index_scheme is IndexScheme.OPCODE_IMM
+
+    def test_to_dict_is_plain_json_types(self):
+        import json
+
+        payload = MachineConfig().to_dict()
+        json.dumps(payload)                     # must not raise
+        assert payload["integration"]["lisp_mode"] == "realistic"
+        assert payload["memsys"]["dl1"]["size_bytes"] == 32 * 1024
+
+    def test_nested_configs_roundtrip_standalone(self):
+        for config in (IntegrationConfig.full(), MemSysConfig(),
+                       BranchPredictorConfig(), IssuePortConfig()):
+            rebuilt = type(config).from_dict(config.to_dict())
+            assert rebuilt == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            IssuePortConfig.from_dict({"issue_width": 4, "bogus": 1})
+
+    def test_from_dict_defaults_missing_fields(self):
+        config = IssuePortConfig.from_dict({"issue_width": 8})
+        assert config.issue_width == 8
+        assert config.loads == IssuePortConfig().loads
+
+    def test_generic_helpers_match_methods(self):
+        config = IntegrationConfig.full()
+        assert to_dict(config) == config.to_dict()
+        assert from_dict(IntegrationConfig, to_dict(config)) == config
+
+
+class TestFingerprint:
+    def test_fingerprint_is_stable(self):
+        assert MachineConfig().fingerprint() == MachineConfig().fingerprint()
+
+    def test_fingerprint_differs_for_integration_fields(self):
+        base = MachineConfig()
+        other = base.with_integration(IntegrationConfig.squash())
+        assert other.fingerprint() != base.fingerprint()
+
+    def test_memsys_only_difference_changes_fingerprint(self):
+        """Regression: the old ``_config_key`` ignored memsys fields, so
+        configs differing only in cache geometry collided in the cache."""
+        base = MachineConfig()
+        bigger_dl1 = replace(base.memsys.dl1, size_bytes=64 * 1024)
+        other = replace(base, memsys=replace(base.memsys, dl1=bigger_dl1))
+        assert other.fingerprint() != base.fingerprint()
+
+    def test_memory_latency_only_difference_changes_fingerprint(self):
+        base = MachineConfig()
+        other = replace(base, memsys=replace(base.memsys, memory_latency=200))
+        assert other.fingerprint() != base.fingerprint()
+
+    def test_branch_predictor_only_difference_changes_fingerprint(self):
+        """Regression: predictor sizing was also invisible to the old key."""
+        base = MachineConfig()
+        other = replace(base, branch_predictor=replace(
+            base.branch_predictor, history_bits=8))
+        assert other.fingerprint() != base.fingerprint()
+
+    def test_btb_only_difference_changes_fingerprint(self):
+        base = MachineConfig()
+        other = replace(base, branch_predictor=replace(
+            base.branch_predictor, btb_entries=512))
+        assert other.fingerprint() != base.fingerprint()
+
+    def test_every_scalar_field_participates(self):
+        """Flip every scalar leaf of the config tree one at a time; each
+        flip must change the fingerprint."""
+        base = MachineConfig()
+        seen = {base.fingerprint()}
+
+        def flipped(value):
+            if isinstance(value, bool):
+                return not value
+            if isinstance(value, int):
+                return value + 1
+            if isinstance(value, float):
+                return value + 1.0
+            return None
+
+        import dataclasses
+
+        def visit(config, rebuild):
+            for field in dataclasses.fields(config):
+                value = getattr(config, field.name)
+                if dataclasses.is_dataclass(value):
+                    visit(value, lambda v, f=field: rebuild(
+                        dataclasses.replace(config, **{f.name: v})))
+                    continue
+                new = flipped(value)
+                if new is None:
+                    continue
+                variant = rebuild(
+                    dataclasses.replace(config, **{field.name: new}))
+                fp = variant.fingerprint()
+                assert fp not in seen, (
+                    f"fingerprint collision flipping {field.name}")
+                seen.add(fp)
+
+        visit(base, lambda v: v)

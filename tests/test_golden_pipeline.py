@@ -1,0 +1,65 @@
+"""Golden end-to-end regression for the stage-decomposed pipeline.
+
+These exact counter values were recorded from the seed (pre-refactor)
+monolithic ``Processor`` on the ``SMOKE_BENCHMARKS`` set at scale 0.2.  The
+stage refactor is required to be cycle-identical: any drift in these numbers
+means the decomposition changed machine behaviour, not just code structure.
+"""
+
+import pytest
+
+from repro.core import MachineConfig, simulate
+from repro.experiments.runner import SMOKE_BENCHMARKS
+from repro.integration.config import IntegrationConfig
+from repro.workloads import build_workload
+
+GOLDEN_SCALE = 0.2
+
+#: Seed-recorded counters: (benchmark, integration config) -> stats.
+GOLDEN = {
+    ("gzip", "full"): dict(cycles=5315, retired=7774, fetched=8376,
+                           issued=7316, integrated_direct=485,
+                           integrated_reverse=47, mis_integrations=2,
+                           squashed=524),
+    ("crafty", "full"): dict(cycles=8455, retired=11812, fetched=13516,
+                             issued=10207, integrated_direct=1385,
+                             integrated_reverse=483, mis_integrations=5,
+                             squashed=1609),
+    ("mcf", "full"): dict(cycles=5328, retired=6888, fetched=7784,
+                          issued=6842, integrated_direct=135,
+                          integrated_reverse=20, mis_integrations=4,
+                          squashed=793),
+    ("gzip", "none"): dict(cycles=5361, retired=7774, fetched=8230,
+                           issued=7825, integrated_direct=0,
+                           integrated_reverse=0, mis_integrations=0,
+                           squashed=378),
+    ("crafty", "none"): dict(cycles=8619, retired=11812, fetched=13247,
+                             issued=12092, integrated_direct=0,
+                             integrated_reverse=0, mis_integrations=0,
+                             squashed=1344),
+    ("mcf", "none"): dict(cycles=5317, retired=6888, fetched=7578,
+                          issued=6945, integrated_direct=0,
+                          integrated_reverse=0, mis_integrations=0,
+                          squashed=593),
+}
+
+CONFIGS = {
+    "full": IntegrationConfig.full(),
+    "none": IntegrationConfig.disabled(),
+}
+
+
+def test_golden_covers_smoke_benchmarks():
+    assert {bench for bench, _ in GOLDEN} == set(SMOKE_BENCHMARKS)
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("bench_name", sorted(SMOKE_BENCHMARKS))
+def test_stage_pipeline_matches_seed_goldens(bench_name, config_name):
+    """The refactored Processor is cycle-identical to the seed monolith."""
+    config = MachineConfig().with_integration(CONFIGS[config_name])
+    program = build_workload(bench_name, scale=GOLDEN_SCALE)
+    stats = simulate(program, config, name=bench_name)
+    expected = GOLDEN[(bench_name, config_name)]
+    observed = {name: getattr(stats, name) for name in expected}
+    assert observed == expected
