@@ -18,6 +18,7 @@ from repro.experiments.runner import (
     DEFAULT_BENCHMARKS,
     FAST_BENCHMARKS,
     SMOKE_BENCHMARKS,
+    env_float,
 )
 
 _BENCH_SETS = {
@@ -33,7 +34,7 @@ def bench_benchmarks():
 
 
 def bench_scale() -> float:
-    return float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+    return env_float("REPRO_BENCH_SCALE", "0.3")
 
 
 @pytest.fixture(scope="session")

@@ -17,7 +17,7 @@ from typing import Optional
 from repro.functional.executor import StepResult, execute_step
 from repro.functional.state import ArchState
 from repro.isa.instruction import DynInst
-from repro.isa.opcodes import OpClass, is_cond_branch, is_load, is_store
+from repro.isa.opcodes import OpClass
 
 
 class SimulationError(RuntimeError):
@@ -71,28 +71,28 @@ class DivaChecker:
                  observed_taken: Optional[bool],
                  observed_next_pc: Optional[int]) -> Optional[DivaFault]:
         inst = dyn.inst
-        cls = inst.info.cls
-        if cls in (OpClass.SYSCALL, OpClass.NOP):
+        info = inst.info
+        cls = info.cls
+        if cls is OpClass.SYSCALL or cls is OpClass.NOP:
             return None
-        if is_store(inst.op):
+        if info.is_store:
             if observed_value is not None and step.store_value != observed_value:
                 return DivaFault(dyn, "store", step.store_value,
                                  observed_value, step.next_pc)
             return None
-        if is_cond_branch(inst.op):
+        if info.is_cond_branch:
             if observed_taken is not None and observed_taken != step.taken:
                 return DivaFault(dyn, "branch", step.taken, observed_taken,
                                  step.next_pc)
             return None
-        if cls in (OpClass.DIRECT_JUMP,):
+        if cls is OpClass.DIRECT_JUMP:
             return None
-        if cls in (OpClass.CALL_INDIRECT, OpClass.INDIRECT_JUMP,
-                   OpClass.RETURN):
+        if info.is_indirect_ctl:
             if observed_next_pc is not None and observed_next_pc != step.next_pc:
                 return DivaFault(dyn, "branch", None, None, step.next_pc)
             return None
         # Register-producing instruction (ALU, FP, load, direct call link).
-        if inst.dest_reg() is None:
+        if inst.dest is None:
             return None
         if observed_value is None or step.dest_value != observed_value:
             return DivaFault(dyn, "value", step.dest_value, observed_value,

@@ -6,15 +6,28 @@ addresses.  When a store later resolves to an address that a younger,
 already-executed load read, the processor takes a full squash from that load
 and the collision history table (CHT) learns the load's PC so future
 instances wait for older store addresses to resolve (paper Section 3.1).
+
+The queue is fully indexed -- the per-cycle ordering checks that the issue
+stage performs for every load candidate never scan the entry list:
+
+* ``_by_seq`` maps sequence number to entry (insertion order is program
+  order, so it doubles as the in-order queue);
+* ``_unresolved_stores`` is the sorted sequence-number list of stores whose
+  address is still unknown, making ``older_stores_unresolved`` an O(1)
+  min-lookup;
+* ``_stores_by_addr`` / ``_loads_by_addr`` bucket resolved stores and
+  executed loads by aligned word address, each bucket sorted by sequence
+  number, so forwarding (youngest older store) and violation detection
+  (younger executed loads) are a dict probe plus a bisect.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, List, Optional, Tuple
 
 from repro.functional.memory import SparseMemory
 from repro.isa.instruction import DynInst
-from repro.isa.opcodes import is_load, is_store
 from repro.isa.program import INST_SIZE
 
 
@@ -26,16 +39,26 @@ class CollisionHistoryTable:
         self.entries = entries
         self._tags: List[Optional[int]] = [None] * entries
         self.trainings = 0
+        #: Dynamic loads whose issue was constrained by a prediction --
+        #: counted once per dynamic load by the issue stage, not per poll.
         self.hits = 0
 
     def _index(self, pc: int) -> int:
         return (pc // INST_SIZE) % self.entries
 
     def predicts_collision(self, pc: int) -> bool:
-        hit = self._tags[self._index(pc)] == pc
-        if hit:
-            self.hits += 1
-        return hit
+        """Pure lookup: does the table predict a collision for this PC?
+
+        Deliberately side-effect free -- a stalled load is re-polled by the
+        scheduler every cycle, so counting here would inflate ``hits`` with
+        poll attempts.  The issue stage records the hit once per dynamic
+        load via :meth:`record_hit`.
+        """
+        return self._tags[self._index(pc)] == pc
+
+    def record_hit(self) -> None:
+        """Count one dynamic load constrained by a collision prediction."""
+        self.hits += 1
 
     def train(self, pc: int) -> None:
         self.trainings += 1
@@ -53,6 +76,13 @@ class _MemEntry:
         self.executed = False
 
 
+def _remove_sorted(seqs: List[int], seq: int) -> None:
+    """Remove ``seq`` from a sorted sequence-number list, if present."""
+    idx = bisect_left(seqs, seq)
+    if idx < len(seqs) and seqs[idx] == seq:
+        del seqs[idx]
+
+
 class LoadStoreQueue:
     """The in-order queue of in-flight memory operations.
 
@@ -63,36 +93,69 @@ class LoadStoreQueue:
 
     def __init__(self, size: int = 64):
         self.size = size
-        self._entries: List[_MemEntry] = []
+        #: seq -> entry; dict insertion order is program order.
+        self._by_seq: Dict[int, _MemEntry] = {}
+        #: Sorted seqs of stores whose address has not resolved yet.
+        self._unresolved_stores: List[int] = []
+        #: aligned addr -> sorted seqs of address-resolved stores.
+        self._stores_by_addr: Dict[int, List[int]] = {}
+        #: aligned addr -> sorted seqs of executed loads.
+        self._loads_by_addr: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._by_seq)
 
     def has_space(self, count: int = 1) -> bool:
-        return len(self._entries) + count <= self.size
+        return len(self._by_seq) + count <= self.size
 
     def insert(self, dyn: DynInst) -> None:
         if not self.has_space():
             raise RuntimeError("LSQ overflow")
-        entry = _MemEntry(dyn, is_store(dyn.op))
-        dyn.lsq_index = True
-        self._entries.append(entry)
+        entry = _MemEntry(dyn, dyn.info.is_store)
+        self._by_seq[dyn.seq] = entry
+        if entry.is_store:
+            # Inserts happen in program order, so append keeps the list
+            # sorted; insort guards unit tests that insert out of order.
+            insort(self._unresolved_stores, dyn.seq)
+        dyn.in_lsq = True
+
+    def _drop_indexes(self, entry: _MemEntry) -> None:
+        """Remove one entry from the address/unresolved indices."""
+        seq = entry.dyn.seq
+        if entry.is_store:
+            if entry.addr is None:
+                _remove_sorted(self._unresolved_stores, seq)
+            else:
+                bucket = self._stores_by_addr.get(entry.addr)
+                if bucket is not None:
+                    _remove_sorted(bucket, seq)
+                    if not bucket:
+                        del self._stores_by_addr[entry.addr]
+        elif entry.executed and entry.addr is not None:
+            bucket = self._loads_by_addr.get(entry.addr)
+            if bucket is not None:
+                _remove_sorted(bucket, seq)
+                if not bucket:
+                    del self._loads_by_addr[entry.addr]
 
     def remove(self, dyn: DynInst) -> None:
-        self._entries = [e for e in self._entries if e.dyn.seq != dyn.seq]
+        entry = self._by_seq.pop(dyn.seq, None)
+        if entry is not None:
+            self._drop_indexes(entry)
+            dyn.in_lsq = False
 
     def squash(self, squashed_seqs: set) -> int:
-        before = len(self._entries)
-        self._entries = [e for e in self._entries
-                         if e.dyn.seq not in squashed_seqs]
-        return before - len(self._entries)
+        """Drop entries belonging to squashed instructions; returns count."""
+        doomed = [seq for seq in self._by_seq if seq in squashed_seqs]
+        for seq in doomed:
+            entry = self._by_seq.pop(seq)
+            self._drop_indexes(entry)
+            entry.dyn.in_lsq = False
+        return len(doomed)
 
     def _find(self, dyn: DynInst) -> Optional[_MemEntry]:
-        for entry in self._entries:
-            if entry.dyn.seq == dyn.seq:
-                return entry
-        return None
+        return self._by_seq.get(dyn.seq)
 
     # ------------------------------------------------------------------
     # store side
@@ -103,29 +166,43 @@ class LoadStoreQueue:
         Returns the younger loads that already executed against the same
         word -- each is a memory-order violation requiring a squash.
         """
-        entry = self._find(dyn)
-        if entry is None:
+        entry = self._by_seq.get(dyn.seq)
+        if entry is None or not entry.is_store:
             return []
-        entry.addr = SparseMemory.align(addr)
+        aligned = SparseMemory.align(addr)
+        if entry.addr is None:
+            _remove_sorted(self._unresolved_stores, dyn.seq)
+            insort(self._stores_by_addr.setdefault(aligned, []), dyn.seq)
+        elif entry.addr != aligned:
+            # Re-resolution to a new address (defensive; completions fire
+            # once per dynamic store in the current pipeline).
+            self._drop_indexes(entry)
+            insort(self._stores_by_addr.setdefault(aligned, []), dyn.seq)
+        entry.addr = aligned
         entry.data_ready = True
         entry.executed = True
-        violations = []
-        for other in self._entries:
-            if (not other.is_store and other.executed
-                    and other.dyn.seq > dyn.seq
-                    and other.addr == entry.addr):
-                violations.append(other.dyn)
-        violations.sort(key=lambda d: d.seq)
-        return violations
+        loads = self._loads_by_addr.get(aligned)
+        if not loads:
+            return []
+        by_seq = self._by_seq
+        return [by_seq[seq].dyn
+                for seq in loads[bisect_right(loads, dyn.seq):]]
 
     # ------------------------------------------------------------------
     # load side
     # ------------------------------------------------------------------
     def record_load(self, dyn: DynInst, addr: int) -> None:
-        entry = self._find(dyn)
-        if entry is not None:
-            entry.addr = SparseMemory.align(addr)
-            entry.executed = True
+        entry = self._by_seq.get(dyn.seq)
+        if entry is None or entry.is_store:
+            return
+        aligned = SparseMemory.align(addr)
+        if entry.executed and entry.addr == aligned:
+            return
+        if entry.executed and entry.addr is not None:
+            self._drop_indexes(entry)
+        entry.addr = aligned
+        entry.executed = True
+        insort(self._loads_by_addr.setdefault(aligned, []), dyn.seq)
 
     def forward_from(self, dyn: DynInst, addr: int
                      ) -> Tuple[Optional[DynInst], bool]:
@@ -135,31 +212,24 @@ class LoadStoreQueue:
         older store matches.  ``data_ready`` is False when the matching
         store has not produced its data yet (the load must wait).
         """
-        aligned = SparseMemory.align(addr)
-        best: Optional[_MemEntry] = None
-        for entry in self._entries:
-            if (entry.is_store and entry.dyn.seq < dyn.seq
-                    and entry.addr == aligned):
-                if best is None or entry.dyn.seq > best.dyn.seq:
-                    best = entry
-        if best is None:
+        stores = self._stores_by_addr.get(SparseMemory.align(addr))
+        if not stores:
             return None, True
+        idx = bisect_left(stores, dyn.seq)
+        if idx == 0:
+            return None, True
+        best = self._by_seq[stores[idx - 1]]
         return best.dyn, best.data_ready
 
     def older_stores_unresolved(self, dyn: DynInst) -> bool:
         """True when any older store has not yet resolved its address."""
-        for entry in self._entries:
-            if (entry.is_store and entry.dyn.seq < dyn.seq
-                    and entry.addr is None):
-                return True
-        return False
+        unresolved = self._unresolved_stores
+        return bool(unresolved) and unresolved[0] < dyn.seq
 
     def older_store_conflict_possible(self, dyn: DynInst, addr: int) -> bool:
         """True when an older store either matches the address or is still
         unresolved (used by conservative, CHT-stalled loads)."""
-        aligned = SparseMemory.align(addr)
-        for entry in self._entries:
-            if entry.is_store and entry.dyn.seq < dyn.seq:
-                if entry.addr is None or entry.addr == aligned:
-                    return True
-        return False
+        if self.older_stores_unresolved(dyn):
+            return True
+        stores = self._stores_by_addr.get(SparseMemory.align(addr))
+        return bool(stores) and stores[0] < dyn.seq

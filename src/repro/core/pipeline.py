@@ -78,11 +78,14 @@ class Processor:
         renamer.initialize_from_values(arch.regs)
         integration = IntegrationLogic(icfg, prf)
 
-        # Out-of-order engine.
+        # Out-of-order engine.  The scheduler is bound to the PRF so operand
+        # readiness is tracked by wakeup events instead of per-cycle scans.
         rob = ReorderBuffer(self.config.rob_size)
         rs = ReservationStations(self.config.rs_entries,
                                  self.config.ports,
-                                 self.config.combined_ldst_port)
+                                 self.config.combined_ldst_port,
+                                 prf=prf)
+        prf.on_ready = rs.wakeup
         lsq = LoadStoreQueue(self.config.lsq_size)
         cht = CollisionHistoryTable(self.config.collision_history_entries)
 
@@ -167,6 +170,8 @@ class Processor:
                     and stats.retired >= max_instructions):
                 break
         stats.cycles = state.cycle
+        stats.cht_hits = state.cht.hits
+        stats.cht_trainings = state.cht.trainings
         return stats
 
 

@@ -5,63 +5,60 @@ source physical registers are ready and an issue port of the right class is
 free.  Selection follows the paper: loads, branches and floating-point
 operations have priority, with instruction age as the tie-breaker, subject
 to the per-class port limits and the total issue width.
+
+Operand readiness is tracked by events, not by scanning: when the scheduler
+is bound to a physical register file (the pipeline wires
+``prf.on_ready -> rs.wakeup``), every inserted instruction counts its
+not-yet-ready sources once, registers itself as a watcher of those
+registers, and moves to the ready pool when the last wakeup arrives.
+``select`` then considers only the ready pool instead of re-evaluating the
+operands of every waiting instruction every cycle.  Without a bound PRF
+(unit tests, external harnesses) ``select`` falls back to probing the
+``operand_ready`` callback for each waiting instruction.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.config import IssuePortConfig
 from repro.isa.instruction import DynInst
-from repro.isa.opcodes import OpClass
 
 __all__ = ["ReservationStations", "IssuePortConfig"]
 
-_SIMPLE_INT_CLASSES = (
-    OpClass.IALU,
-    OpClass.COND_BRANCH,
-    OpClass.CALL_INDIRECT,
-    OpClass.INDIRECT_JUMP,
-    OpClass.RETURN,
-)
-_COMPLEX_FP_CLASSES = (
-    OpClass.IMUL,
-    OpClass.FP_ADD,
-    OpClass.FP_MUL,
-    OpClass.FP_DIV,
-)
-_PRIORITY_CLASSES = (
-    OpClass.LOAD,
-    OpClass.COND_BRANCH,
-    OpClass.FP_ADD,
-    OpClass.FP_MUL,
-    OpClass.FP_DIV,
-    OpClass.CALL_INDIRECT,
-    OpClass.INDIRECT_JUMP,
-    OpClass.RETURN,
-)
+# The issue-port classification ("load"/"store"/"complex"/"simple") and the
+# selection priority (loads, branches, FP and indirect control first) are
+# per-opcode constants precomputed as ``OpInfo.issue_port`` /
+# ``OpInfo.issue_priority`` (see repro.isa.opcodes) and mirrored into
+# ``DynInst.rs_port`` / ``rs_priority`` at insert.
 
 
-def _port_class(dyn: DynInst) -> str:
-    cls = dyn.inst.info.cls
-    if cls is OpClass.LOAD:
-        return "load"
-    if cls is OpClass.STORE:
-        return "store"
-    if cls in _COMPLEX_FP_CLASSES:
-        return "complex"
-    return "simple"
+def _age_priority_key(dyn: DynInst):
+    return (dyn.rs_priority, dyn.seq)
 
 
 class ReservationStations:
     """A pool of reservation stations with port-constrained selection."""
 
     def __init__(self, entries: int, ports: Optional[IssuePortConfig] = None,
-                 combined_ldst_port: bool = False):
+                 combined_ldst_port: bool = False, prf=None):
         self.entries = entries
         self.ports = ports or IssuePortConfig()
         self.combined_ldst_port = combined_ldst_port
-        self._waiting: List[DynInst] = []
+        self._limits = {"simple": self.ports.simple_int,
+                        "complex": self.ports.complex_fp,
+                        "load": self.ports.loads,
+                        "store": self.ports.stores}
+        #: seq -> waiting instruction (insertion order = age order).
+        self._waiting: Dict[int, DynInst] = {}
+        # Event-driven readiness tracking (active when a PRF is bound).
+        self._prf = prf
+        #: seq -> instruction whose operands are all ready.
+        self._ready: Dict[int, DynInst] = {}
+        #: preg -> instructions waiting on it (may hold stale watchers for
+        #: instructions that already issued or squashed; they are skipped
+        #: on wakeup via the ``_waiting`` membership test).
+        self._watchers: Dict[int, List[DynInst]] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -77,13 +74,52 @@ class ReservationStations:
     def insert(self, dyn: DynInst) -> None:
         if not self.has_space():
             raise RuntimeError("reservation station overflow")
-        self._waiting.append(dyn)
+        self._waiting[dyn.seq] = dyn
+        info = dyn.info
+        dyn.rs_port = info.issue_port
+        dyn.rs_priority = info.issue_priority
+        prf = self._prf
+        if prf is None:
+            return
+        ready = prf.ready
+        pending = 0
+        for preg in dyn.src_pregs:
+            if not ready[preg]:
+                pending += 1
+                watchers = self._watchers.get(preg)
+                if watchers is None:
+                    self._watchers[preg] = [dyn]
+                else:
+                    watchers.append(dyn)
+        dyn.rs_pending = pending
+        if pending == 0:
+            self._ready[dyn.seq] = dyn
+
+    def wakeup(self, preg: int) -> None:
+        """A physical register became ready: promote its watchers.
+
+        Wired to :attr:`PhysicalRegisterFile.on_ready` by the pipeline.
+        Duplicate sources register (and wake) once per occurrence, so the
+        pending count stays balanced.
+        """
+        watchers = self._watchers.pop(preg, None)
+        if not watchers:
+            return
+        waiting = self._waiting
+        ready = self._ready
+        for dyn in watchers:
+            if dyn.seq in waiting:
+                dyn.rs_pending -= 1
+                if dyn.rs_pending == 0:
+                    ready[dyn.seq] = dyn
 
     def squash(self, squashed_seqs: set) -> int:
         """Drop entries belonging to squashed instructions; returns count."""
-        before = len(self._waiting)
-        self._waiting = [d for d in self._waiting if d.seq not in squashed_seqs]
-        return before - len(self._waiting)
+        doomed = [seq for seq in self._waiting if seq in squashed_seqs]
+        for seq in doomed:
+            del self._waiting[seq]
+            self._ready.pop(seq, None)
+        return len(doomed)
 
     # ------------------------------------------------------------------
     def select(self, operand_ready: Callable[[DynInst], bool],
@@ -91,34 +127,37 @@ class ReservationStations:
         """Pick this cycle's issue group.
 
         ``operand_ready`` tests whether every source physical register of an
-        instruction is available; ``load_can_issue`` applies the additional
+        instruction is available (used only on the scan fallback path when
+        no PRF is bound); ``load_can_issue`` applies the additional
         memory-ordering constraints (collision history table, unavailable
         forwarding data).  Selected instructions are removed from the pool.
         """
         ports = self.ports
-        candidates = [dyn for dyn in self._waiting if operand_ready(dyn)]
-        candidates.sort(key=lambda d: (
-            0 if d.inst.info.cls in _PRIORITY_CLASSES else 1, d.seq))
+        if self._prf is not None:
+            candidates = list(self._ready.values())
+        else:
+            candidates = [dyn for dyn in self._waiting.values()
+                          if operand_ready(dyn)]
+        candidates.sort(key=_age_priority_key)
 
         selected: List[DynInst] = []
         counts = {"simple": 0, "complex": 0, "load": 0, "store": 0}
+        limits = self._limits
         for dyn in candidates:
             if len(selected) >= ports.issue_width:
                 break
-            port = _port_class(dyn)
+            port = dyn.rs_port
             if port == "load" and not load_can_issue(dyn):
                 continue
             if self.combined_ldst_port and port in ("load", "store"):
                 if counts["load"] + counts["store"] >= 1:
                     continue
-            limit = {"simple": ports.simple_int, "complex": ports.complex_fp,
-                     "load": ports.loads, "store": ports.stores}[port]
-            if counts[port] >= limit:
+            if counts[port] >= limits[port]:
                 continue
             counts[port] += 1
             selected.append(dyn)
 
-        if selected:
-            chosen = {d.seq for d in selected}
-            self._waiting = [d for d in self._waiting if d.seq not in chosen]
+        for dyn in selected:
+            del self._waiting[dyn.seq]
+            self._ready.pop(dyn.seq, None)
         return selected

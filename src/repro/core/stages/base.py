@@ -23,24 +23,12 @@ from repro.isa.instruction import DynInst
 from repro.isa.opcodes import OpClass
 from repro.isa.program import INST_SIZE
 
-# Opcode classes that occupy a reservation station (everything that must pass
-# through the out-of-order execution engine when it does not integrate).
-RS_CLASSES = frozenset({
-    OpClass.IALU, OpClass.IMUL, OpClass.LOAD, OpClass.STORE,
-    OpClass.COND_BRANCH, OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV,
-    OpClass.CALL_INDIRECT, OpClass.INDIRECT_JUMP, OpClass.RETURN,
-})
-# Opcode classes whose results/effects are fully known at rename time.
-RENAME_COMPLETE_CLASSES = frozenset({
-    OpClass.DIRECT_JUMP, OpClass.CALL_DIRECT, OpClass.SYSCALL, OpClass.NOP,
-})
-INDIRECT_CLASSES = frozenset({
-    OpClass.CALL_INDIRECT, OpClass.INDIRECT_JUMP, OpClass.RETURN,
-})
-ALU_CLASSES = frozenset({
-    OpClass.IALU, OpClass.IMUL, OpClass.FP_ADD, OpClass.FP_MUL,
-    OpClass.FP_DIV,
-})
+# The opcode-class groupings the stages route on (reservation-station
+# occupancy, rename-complete classes, ALU-like execution, indirect control)
+# are precomputed per opcode as OpInfo predicates -- ``needs_rs``,
+# ``rename_complete``, ``is_alu``, ``is_indirect_ctl`` in
+# :mod:`repro.isa.opcodes` -- so the per-cycle loops read attributes instead
+# of hashing enum members into frozensets.
 
 
 @runtime_checkable

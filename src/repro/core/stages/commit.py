@@ -12,35 +12,25 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.diva import DivaFault, SimulationError
-from repro.core.stages.base import (
-    INDIRECT_CLASSES,
-    PipelineState,
-    RecoveryController,
-)
+from repro.core.stages.base import PipelineState, RecoveryController
 from repro.core.stats import IntegrationType, ResultStatus, distance_bucket
 from repro.isa.instruction import DynInst, StaticInst
-from repro.isa.opcodes import (
-    OpClass,
-    is_cond_branch,
-    is_fp,
-    is_load,
-    is_store,
-)
+from repro.isa.opcodes import OpClass, is_load
 from repro.isa.registers import REG_SP
 
 
 def integration_type(inst: StaticInst) -> Optional[IntegrationType]:
     """Categorise an instruction for the Figure 5 "Type" breakdown."""
-    op = inst.op
-    if is_load(op):
+    info = inst.info
+    if info.is_load:
         if inst.ra == REG_SP:
             return IntegrationType.LOAD_SP
         return IntegrationType.LOAD_OTHER
-    if is_cond_branch(op):
+    if info.is_cond_branch:
         return IntegrationType.BRANCH
-    if is_fp(op):
+    if info.fp:
         return IntegrationType.FP
-    if inst.info.cls in (OpClass.IALU, OpClass.IMUL):
+    if info.cls in (OpClass.IALU, OpClass.IMUL):
         return IntegrationType.ALU
     return None
 
@@ -53,6 +43,16 @@ class CommitDiva:
     def __init__(self, state: PipelineState, recovery: RecoveryController):
         self.state = state
         self.recovery = recovery
+        # integration_type is pure per static instruction; memoise by PC so
+        # retirement does not re-derive it for every dynamic instance.
+        self._itype_by_pc: dict = {}
+
+    def _integration_type(self, dyn: DynInst) -> Optional[IntegrationType]:
+        cache = self._itype_by_pc
+        itype = cache.get(dyn.pc, False)
+        if itype is False:
+            itype = cache[dyn.pc] = integration_type(dyn.inst)
+        return itype
 
     # ------------------------------------------------------------------
     def tick(self) -> None:
@@ -62,7 +62,7 @@ class CommitDiva:
             dyn = state.rob.head()
             if dyn is None or not self._can_retire(dyn):
                 break
-            if is_store(dyn.op):
+            if dyn.info.is_store:
                 stall, accepted = state.mem.store(dyn.eff_addr or 0,
                                                   state.cycle)
                 if not accepted:
@@ -104,14 +104,14 @@ class CommitDiva:
         observed_taken = None
         observed_next_pc = None
         inst = dyn.inst
-        cls = inst.info.cls
-        if is_store(inst.op):
+        info = dyn.info
+        if info.is_store:
             observed_value = dyn.store_value
-        elif is_cond_branch(inst.op):
+        elif info.is_cond_branch:
             observed_taken = dyn.branch_taken
-        elif cls in INDIRECT_CLASSES:
+        elif info.is_indirect_ctl:
             observed_next_pc = dyn.next_pc
-        elif inst.dest_reg() is not None and dyn.dest_preg is not None:
+        elif inst.dest is not None and dyn.dest_preg is not None:
             observed_value = state.prf.value(dyn.dest_preg)
         return observed_value, observed_taken, observed_next_pc
 
@@ -120,7 +120,7 @@ class CommitDiva:
         state = self.state
         state.rob.pop_head()
         state.renamer.commit(dyn)
-        if dyn.lsq_index:
+        if dyn.in_lsq:
             state.lsq.remove(dyn)
         dyn.retire_cycle = state.cycle
         state.last_retire_cycle = state.cycle
@@ -128,10 +128,10 @@ class CommitDiva:
         stats = state.stats
         stats.retired += 1
 
-        itype = integration_type(dyn.inst)
+        itype = self._integration_type(dyn)
         if itype is not None:
             stats.retired_by_type[itype] += 1
-        if is_cond_branch(dyn.op):
+        if dyn.info.is_cond_branch:
             stats.retired_branches += 1
             if dyn.branch_mispredicted or dyn.mis_integrated:
                 stats.retired_mispredicted_branches += 1

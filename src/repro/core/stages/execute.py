@@ -13,12 +13,7 @@ from collections import defaultdict
 from typing import Dict, List
 
 from repro.core.diva import SimulationError
-from repro.core.stages.base import (
-    ALU_CLASSES,
-    INDIRECT_CLASSES,
-    PipelineState,
-    RecoveryController,
-)
+from repro.core.stages.base import PipelineState, RecoveryController
 from repro.isa import semantics
 from repro.isa.instruction import DynInst
 from repro.isa.opcodes import OpClass
@@ -43,10 +38,11 @@ class IssueExecute:
         state = self.state
         wakeups = self.wakeup_events.pop(state.cycle, None)
         if wakeups:
+            set_value = state.prf.set_value
             for dyn, value in wakeups:
                 if dyn.squashed or dyn.dest_preg is None:
                     continue
-                state.prf.set_value(dyn.dest_preg, value)
+                set_value(dyn.dest_preg, value)
         completions = self.complete_events.pop(state.cycle, None)
         if completions:
             for dyn in completions:
@@ -58,10 +54,10 @@ class IssueExecute:
         dyn.completed = True
         dyn.executed = True
         dyn.complete_cycle = self.state.cycle
-        cls = dyn.inst.info.cls
+        cls = dyn.cls
         if cls is OpClass.COND_BRANCH:
             self._resolve_branch(dyn)
-        elif cls in INDIRECT_CLASSES:
+        elif dyn.info.is_indirect_ctl:
             self._resolve_indirect(dyn)
         elif cls is OpClass.STORE:
             self._resolve_store(dyn)
@@ -127,12 +123,21 @@ class IssueExecute:
 
     def _load_can_issue(self, dyn: DynInst) -> bool:
         state = self.state
-        base = state.prf.value(dyn.src_pregs[0])
+        base = state.prf.values[dyn.src_pregs[0]]
         addr = semantics.effective_address(base, dyn.inst.imm)
-        if (state.cht.predicts_collision(dyn.inst.pc)
-                and state.lsq.older_stores_unresolved(dyn)):
-            return False
+        if state.cht.predicts_collision(dyn.pc):
+            # The hit statistic counts dynamic loads whose issue consulted a
+            # collision prediction -- once per load, not once per re-poll of
+            # a stalled load.
+            if not dyn.cht_counted:
+                dyn.cht_counted = True
+                state.cht.record_hit()
+            if state.lsq.older_stores_unresolved(dyn):
+                return False
         store, data_ready = state.lsq.forward_from(dyn, addr)
+        # Cache the probe for _execute_load: nothing between select and
+        # execute within a cycle changes the store image the LSQ exposes.
+        dyn.load_probe = (state.cycle, addr, store)
         if store is not None and not data_ready:
             return False
         return True
@@ -144,18 +149,19 @@ class IssueExecute:
         dyn.issue_cycle = state.cycle
         state.stats.issued += 1
         inst = dyn.inst
-        cls = inst.info.cls
-        values = [state.prf.value(p) for p in dyn.src_pregs]
+        cls = dyn.cls
+        prf_values = state.prf.values
+        values = [prf_values[p] for p in dyn.src_pregs]
         dyn.src_values = values
         regread = config.regread_stages
         wb = config.writeback_stages
 
-        if cls in ALU_CLASSES:
+        if dyn.info.is_alu:
             a = values[0] if values else 0
             b = values[1] if len(values) > 1 else 0
             result = semantics.evaluate(inst.op, a, b, inst.imm)
             dyn.result = result
-            latency = inst.info.latency
+            latency = dyn.info.latency
             self._schedule_wakeup(dyn, latency, result)
             self._schedule_complete(dyn, regread + latency + wb)
         elif cls is OpClass.COND_BRANCH:
@@ -163,7 +169,7 @@ class IssueExecute:
             dyn.branch_taken = taken
             dyn.next_pc = inst.target if taken else inst.pc + INST_SIZE
             self._schedule_complete(dyn, regread + 1 + wb)
-        elif cls in INDIRECT_CLASSES:
+        elif dyn.info.is_indirect_ctl:
             target = int(values[0]) & semantics.MASK64
             dyn.next_pc = target
             if cls is OpClass.CALL_INDIRECT and dyn.dest_preg is not None:
@@ -183,11 +189,18 @@ class IssueExecute:
         config = state.config
         inst = dyn.inst
         agen = config.memsys.address_generation_latency
-        addr = semantics.effective_address(values[0], inst.imm)
+        # Reuse the issue-check probe computed by _load_can_issue this
+        # cycle: the LSQ store image cannot change between select and
+        # execute (stores resolve at completion, in writeback).
+        probe = dyn.load_probe
+        if probe is not None and probe[0] == state.cycle:
+            _, addr, store = probe
+        else:
+            addr = semantics.effective_address(values[0], inst.imm)
+            store, _ = state.lsq.forward_from(dyn, addr)
         dyn.eff_addr = addr
         state.lsq.record_load(dyn, addr)
         state.stats.executed_loads += 1
-        store, _ = state.lsq.forward_from(dyn, addr)
         if store is not None:
             latency = agen + config.memsys.store_forward_latency
             value = store.store_value

@@ -14,7 +14,6 @@ from typing import Deque, Tuple
 
 from repro.core.stages.base import PipelineState
 from repro.isa.instruction import DynInst
-from repro.isa.opcodes import is_branch
 from repro.isa.program import INST_SIZE
 
 
@@ -45,27 +44,39 @@ class FrontEnd:
         access = state.mem.ifetch(self.fetch_pc, state.cycle)
         ready_cycle = (state.cycle + config.fetch_stages + config.decode_stages
                        + max(0, access.latency - 1))
+        program_at = state.program.at
+        predictor = state.predictor
+        predictions = state.predictions
+        fetch_queue = self.fetch_queue
+        cycle = state.cycle
+        fetched = 0
         for _ in range(config.fetch_width):
-            inst = state.program.at(self.fetch_pc)
+            inst = program_at(self.fetch_pc)
             if inst is None:
                 self.fetch_halted = True
                 break
             state.seq += 1
             dyn = DynInst(state.seq, inst)
-            dyn.fetch_cycle = state.cycle
-            dyn.call_depth = state.predictor.call_depth
-            dyn.map_checkpoint = state.predictor.snapshot()
-            prediction = state.predictor.predict(inst)
-            dyn.pred_taken = prediction.taken
-            dyn.pred_next_pc = prediction.target
-            if is_branch(inst.op):
-                state.predictions[dyn.seq] = prediction
-            state.stats.fetched += 1
-            self.fetch_queue.append((dyn, ready_cycle))
-            if is_branch(inst.op) and prediction.taken:
-                self.fetch_pc = prediction.target
-                break
+            dyn.fetch_cycle = cycle
+            dyn.call_depth = predictor.ras.depth
+            dyn.map_checkpoint = predictor.snapshot()
+            fetched += 1
+            if inst.info.is_branch:
+                prediction = predictor.predict(inst)
+                dyn.pred_taken = prediction.taken
+                dyn.pred_next_pc = prediction.target
+                predictions[dyn.seq] = prediction
+                fetch_queue.append((dyn, ready_cycle))
+                if prediction.taken:
+                    self.fetch_pc = prediction.target
+                    break
+            else:
+                # Non-control-flow: the predictor has no side effects and
+                # always predicts fall-through, so skip the call entirely.
+                dyn.pred_next_pc = inst.pc + INST_SIZE
+                fetch_queue.append((dyn, ready_cycle))
             self.fetch_pc = inst.pc + INST_SIZE
+        state.stats.fetched += fetched
 
     # ------------------------------------------------------------------
     def flush(self, redirect_pc: int) -> None:

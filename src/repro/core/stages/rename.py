@@ -12,18 +12,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.diva import SimulationError
-from repro.core.stages.base import (
-    PipelineState,
-    RecoveryController,
-    RENAME_COMPLETE_CLASSES,
-    RS_CLASSES,
-)
+from repro.core.stages.base import PipelineState, RecoveryController
 from repro.core.stages.frontend import FrontEnd
 from repro.core.stats import ResultStatus
 from repro.integration.config import LispMode
 from repro.isa import semantics
 from repro.isa.instruction import DynInst
-from repro.isa.opcodes import OpClass, is_cond_branch, is_load
+from repro.isa.opcodes import OpClass
 from repro.isa.program import INST_SIZE
 
 
@@ -48,9 +43,9 @@ class RenameIntegrate:
             dyn, ready_cycle = fetch_queue[0]
             if ready_cycle > state.cycle or state.rob.full:
                 break
-            cls = dyn.inst.info.cls
-            needs_rs = cls in RS_CLASSES
-            needs_lsq = cls in (OpClass.LOAD, OpClass.STORE)
+            info = dyn.info
+            needs_rs = info.needs_rs
+            needs_lsq = info.is_mem
             if needs_rs and not state.rs.has_space():
                 break
             if needs_lsq and not state.lsq.has_space():
@@ -79,12 +74,12 @@ class RenameIntegrate:
         """Rename (or integrate) one instruction; False means stall."""
         state = self.state
         inst = dyn.inst
-        cls = inst.info.cls
+        cls = dyn.cls
         state.renamer.lookup_sources(dyn)
 
         oracle = None
         if (state.config.integration.lisp_mode is LispMode.ORACLE
-                and is_load(inst.op)):
+                and dyn.info.is_load):
             oracle = self._oracle_allow
         decision = state.integration.consider(dyn, dyn.call_depth,
                                               oracle_allow=oracle)
@@ -109,11 +104,11 @@ class RenameIntegrate:
                 state.prf.set_value(dyn.dest_preg, link)
             dyn.result = link
             self._mark_rename_complete(dyn)
-        elif cls in RENAME_COMPLETE_CLASSES:
+        elif dyn.info.rename_complete:
             self._mark_rename_complete(dyn)
         else:
             state.rs.insert(dyn)
-            if cls in (OpClass.LOAD, OpClass.STORE):
+            if dyn.info.is_mem:
                 state.lsq.insert(dyn)
             dyn.dispatch_cycle = state.cycle
         return True
@@ -128,7 +123,7 @@ class RenameIntegrate:
         """Point the instruction at the matched IT entry's result."""
         state = self.state
         entry = decision.entry
-        if is_cond_branch(dyn.op):
+        if dyn.info.is_cond_branch:
             self._integrate_branch(dyn, entry)
             return True
         status = self._result_status(entry.out)

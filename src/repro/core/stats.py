@@ -69,6 +69,11 @@ class SimStats:
     branch_resolution_latency_sum: int = 0
     memory_order_violations: int = 0
 
+    # Collision history table (one hit per dynamic load whose issue was
+    # constrained by a collision prediction; one training per violation).
+    cht_hits: int = 0
+    cht_trainings: int = 0
+
     # Integration (counted at retirement, per the paper's methodology).
     integrated_direct: int = 0
     integrated_reverse: int = 0

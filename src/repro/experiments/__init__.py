@@ -22,6 +22,7 @@ from repro.experiments.runner import (
     DEFAULT_BENCHMARKS,
     FAST_BENCHMARKS,
     SMOKE_BENCHMARKS,
+    EnvVarError,
     clear_cache,
     default_jobs,
     default_scale,
@@ -32,6 +33,7 @@ from repro.experiments.runner import (
 
 __all__ = [
     "DEFAULT_BENCHMARKS",
+    "EnvVarError",
     "FAST_BENCHMARKS",
     "SMOKE_BENCHMARKS",
     "ResultCache",

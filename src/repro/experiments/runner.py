@@ -20,6 +20,7 @@ path.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 from dataclasses import dataclass
@@ -62,23 +63,63 @@ class RunTelemetry:
 telemetry = RunTelemetry()
 
 
+class EnvVarError(SystemExit):
+    """A malformed ``REPRO_*`` environment variable.
+
+    Subclasses :class:`SystemExit` so a bad value aborts CLI runs with a
+    one-line message instead of a ``ValueError`` traceback out of
+    ``float()``/``int()``, while still being catchable in library use.
+    """
+
+    def __init__(self, name: str, value: str, expected: str):
+        self.name = name
+        self.value = value
+        super().__init__(
+            f"invalid {name}={value!r}: expected {expected} "
+            f"(unset it or fix the value)")
+
+
+def env_float(name: str, default: str) -> float:
+    """Read a positive, finite float from the environment (or ``default``)."""
+    raw = os.environ.get(name, default).strip() or default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise EnvVarError(name, raw, "a number (e.g. 0.5)") from None
+    if not math.isfinite(value) or value <= 0:
+        raise EnvVarError(name, raw, "a positive finite number (e.g. 0.5)")
+    return value
+
+
+def _env_int(name: str, default: str) -> int:
+    raw = os.environ.get(name, default).strip() or default
+    try:
+        return int(raw)
+    except ValueError:
+        raise EnvVarError(name, raw, "an integer (0 = one worker per CPU)"
+                          ) from None
+
+
 def default_scale() -> float:
     """Workload scale factor, overridable with the ``REPRO_SCALE`` env var.
 
     1.0 reproduces the sizes listed in DESIGN.md (10k-60k dynamic
     instructions per benchmark); smaller values shorten every experiment
-    proportionally.
+    proportionally.  A malformed value raises :class:`EnvVarError` with a
+    clear message instead of a bare ``ValueError`` traceback.
     """
-    return float(os.environ.get("REPRO_SCALE", "0.5"))
+    return env_float("REPRO_SCALE", "0.5")
 
 
 def default_jobs(jobs: Optional[int] = None) -> int:
     """Resolve a worker count: explicit > ``REPRO_JOBS`` > serial.
 
-    ``0`` (or any non-positive value) means "one worker per CPU".
+    ``0`` (or any non-positive value) means "one worker per CPU".  A
+    malformed ``REPRO_JOBS`` raises :class:`EnvVarError` with a clear
+    message instead of a bare ``ValueError`` traceback.
     """
     if jobs is None:
-        jobs = int(os.environ.get("REPRO_JOBS", "1") or 1)
+        jobs = _env_int("REPRO_JOBS", "1")
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return max(1, jobs)

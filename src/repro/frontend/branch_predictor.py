@@ -137,34 +137,42 @@ class ReturnAddressStack:
 
     ``depth`` (the top-of-stack index) is exported as the dynamic call depth
     used by opcode indexing (paper Section 2.3).
+
+    The stack is kept as an immutable tuple so that checkpointing it -- which
+    the front end does for every fetched instruction -- is a reference copy
+    instead of an O(depth) list copy; pushes and pops (calls and returns,
+    which are far rarer than fetches) pay the copy instead.
     """
 
     def __init__(self, entries: int):
         self.entries = entries
-        self.stack: List[int] = []
+        self.stack: Tuple[int, ...] = ()
 
     @property
     def depth(self) -> int:
         return len(self.stack)
 
     def push(self, return_pc: int) -> None:
-        if len(self.stack) >= self.entries:
-            self.stack.pop(0)
-        self.stack.append(return_pc)
+        stack = self.stack
+        if len(stack) >= self.entries:
+            stack = stack[1:]
+        self.stack = stack + (return_pc,)
 
     def pop(self) -> Optional[int]:
-        if self.stack:
-            return self.stack.pop()
+        stack = self.stack
+        if stack:
+            self.stack = stack[:-1]
+            return stack[-1]
         return None
 
     def snapshot(self) -> Tuple[int, ...]:
-        return tuple(self.stack)
+        return self.stack
 
     def restore(self, snap: Tuple[int, ...]) -> None:
-        self.stack = list(snap)
+        self.stack = tuple(snap)
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchPrediction:
     """One front-end prediction, kept with the dynamic instruction so the
     predictor can be updated and recovered precisely."""

@@ -24,7 +24,7 @@ SYS_PUTINT = 1
 SYS_BRK = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class StepResult:
     """What one architectural step did (used by DIVA and by tests)."""
 
@@ -50,25 +50,25 @@ def execute_step(state: ArchState, inst: StaticInst) -> StepResult:
     taken = None
     halted = False
 
-    if cls in (OpClass.IALU, OpClass.IMUL, OpClass.FP_ADD, OpClass.FP_MUL,
-               OpClass.FP_DIV):
-        a = state.read_reg(inst.ra) if inst.ra is not None else 0
-        b = state.read_reg(inst.rb) if inst.rb is not None else 0
+    regs = state.regs
+    if info.is_alu:
+        a = regs[inst.ra] if inst.ra is not None else 0
+        b = regs[inst.rb] if inst.rb is not None else 0
         dest_value = semantics.evaluate(op, a, b, inst.imm)
         state.write_reg(inst.rd, dest_value)
     elif cls is OpClass.LOAD:
-        base = state.read_reg(inst.ra)
+        base = regs[inst.ra]
         eff_addr = semantics.effective_address(base, inst.imm)
         dest_value = semantics.narrow_load_value(op, state.memory.read(eff_addr))
         state.write_reg(inst.rd, dest_value)
     elif cls is OpClass.STORE:
-        data = state.read_reg(inst.ra)
-        base = state.read_reg(inst.rb)
+        data = regs[inst.ra]
+        base = regs[inst.rb]
         eff_addr = semantics.effective_address(base, inst.imm)
         store_value = semantics.narrow_store_value(op, data)
         state.memory.write(eff_addr, store_value)
     elif cls is OpClass.COND_BRANCH:
-        cond = state.read_reg(inst.ra)
+        cond = regs[inst.ra]
         taken = semantics.branch_taken(op, cond)
         next_pc = inst.target if taken else fallthrough
     elif cls is OpClass.DIRECT_JUMP:

@@ -8,7 +8,9 @@ from repro.functional.memory import SparseMemory
 from repro.isa.registers import (
     NUM_LOGICAL_REGS,
     REG_FP_BASE,
+    REG_FZERO,
     REG_SP,
+    REG_ZERO,
     is_zero_reg,
 )
 
@@ -39,12 +41,13 @@ class ArchState:
         self.inst_count = 0
 
     def read_reg(self, index: int):
-        if is_zero_reg(index):
-            return 0.0 if index >= REG_FP_BASE else 0
+        # The zero registers invariantly hold 0 / 0.0 (writes to them are
+        # discarded below), so a plain indexed read is correct and avoids a
+        # predicate call on the hottest functional path.
         return self.regs[index]
 
     def write_reg(self, index: int, value) -> None:
-        if is_zero_reg(index):
+        if index == REG_ZERO or index == REG_FZERO:
             return
         self.regs[index] = value
 

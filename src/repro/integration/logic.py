@@ -21,14 +21,7 @@ from repro.integration.config import IntegrationConfig, IndexScheme, LispMode
 from repro.integration.lisp import LoadIntegrationSuppressionPredictor
 from repro.integration.table import IntegrationTable, ITEntry
 from repro.isa.instruction import DynInst
-from repro.isa.opcodes import (
-    Opcode,
-    is_cond_branch,
-    is_integrable,
-    is_load,
-    is_store,
-    load_counterpart,
-)
+from repro.isa.opcodes import Opcode, load_counterpart
 from repro.isa.registers import REG_SP
 from repro.rename.physical import PhysicalRegisterFile
 
@@ -37,7 +30,7 @@ from repro.rename.physical import PhysicalRegisterFile
 OracleCheck = Callable[[DynInst, ITEntry], bool]
 
 
-@dataclass
+@dataclass(slots=True)
 class IntegrationDecision:
     """Result of the rename-time integration test for one instruction."""
 
@@ -87,11 +80,13 @@ class IntegrationLogic:
         if not config.enabled:
             return NO_INTEGRATION
         op = dyn.op
-        if not is_integrable(op):
+        info = dyn.info
+        if not info.integrable:
             return NO_INTEGRATION
         inst = dyn.inst
 
-        if is_load(op) and config.lisp_mode is LispMode.REALISTIC and self.lisp:
+        is_load_op = info.is_load
+        if is_load_op and config.lisp_mode is LispMode.REALISTIC and self.lisp:
             if self.lisp.suppresses(inst.pc):
                 return IntegrationDecision(integrate=False,
                                            suppressed_by_lisp=True)
@@ -101,11 +96,12 @@ class IntegrationLogic:
             return NO_INTEGRATION
 
         squash_only = not config.general_reuse
+        is_branch_op = info.is_cond_branch
         oracle_suppressed = False
         for entry in candidates:
             if not entry.inputs_match(dyn.src_pregs, dyn.src_gens):
                 continue
-            if is_cond_branch(op):
+            if is_branch_op:
                 if entry.branch_outcome is None:
                     continue
             else:
@@ -114,7 +110,7 @@ class IntegrationLogic:
                 if not self.prf.integration_eligible(entry.out, entry.out_gen,
                                                      squash_only=squash_only):
                     continue
-            if (is_load(op) and config.lisp_mode is LispMode.ORACLE
+            if (is_load_op and config.lisp_mode is LispMode.ORACLE
                     and oracle_allow is not None
                     and not oracle_allow(dyn, entry)):
                 oracle_suppressed = True
@@ -142,11 +138,12 @@ class IntegrationLogic:
             return
         inst = dyn.inst
         op = dyn.op
+        info = dyn.info
 
-        if is_store(op):
+        if info.is_store:
             self._maybe_create_store_reverse(dyn, call_depth)
             return
-        if not is_integrable(op):
+        if not info.integrable:
             return
 
         in1 = dyn.src_pregs[0] if len(dyn.src_pregs) > 0 else None
@@ -154,7 +151,7 @@ class IntegrationLogic:
         in2 = dyn.src_pregs[1] if len(dyn.src_pregs) > 1 else None
         gen2 = dyn.src_gens[1] if len(dyn.src_gens) > 1 else 0
 
-        if is_cond_branch(op):
+        if info.is_cond_branch:
             entry = ITEntry(inst.pc, op, inst.imm, in1, gen1, in2, gen2,
                             out=None, out_gen=0, creator_seq=dyn.seq,
                             call_depth=call_depth)

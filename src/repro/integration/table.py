@@ -55,15 +55,21 @@ class ITEntry:
 
         Both the register numbers and their generation counters must match
         (the generation comparison is what suppresses register
-        mis-integrations after a register has been reallocated).
+        mis-integrations after a register has been reallocated).  Written
+        allocation-free: the rename stage runs this for every candidate of
+        every renamed instruction.
         """
-        wanted = []
+        idx = 0
+        n = len(pregs)
         if self.in1 is not None:
-            wanted.append((self.in1, self.gen1))
+            if n == 0 or pregs[0] != self.in1 or gens[0] != self.gen1:
+                return False
+            idx = 1
         if self.in2 is not None:
-            wanted.append((self.in2, self.gen2))
-        have = list(zip(pregs, gens))
-        return wanted == have
+            if idx >= n or pregs[idx] != self.in2 or gens[idx] != self.gen2:
+                return False
+            idx += 1
+        return idx == n
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "rev" if self.is_reverse else "dir"
@@ -108,33 +114,33 @@ class IntegrationTable:
         if self.scheme is IndexScheme.PC:
             key = pc // INST_SIZE
         else:
-            opcode_id = _opcode_id(opcode)
+            opcode_id = _OPCODE_IDS[opcode]
             key = opcode_id ^ ((imm or 0) & 0xFFFF)
             if self.scheme is IndexScheme.OPCODE_IMM_CALLDEPTH:
                 key ^= call_depth
         return key % self.num_sets
 
-    def _tag_matches(self, entry: ITEntry, pc: int, opcode: Opcode,
-                     imm: Optional[int]) -> bool:
-        if self.scheme is IndexScheme.PC:
-            return entry.pc == pc
-        # Minimal tag: opcode + immediate (the call depth only augments the
-        # index, so instructions from different depths can still match
-        # within a set).
-        return entry.opcode is opcode and entry.imm == imm
-
     # ------------------------------------------------------------------
     def lookup(self, pc: int, opcode: Opcode, imm: Optional[int],
                call_depth: int) -> List[ITEntry]:
         """Return the candidate entries whose tag matches, most recently
-        used first."""
+        used first.
+
+        The tag is minimal: the full PC under PC indexing, otherwise
+        opcode + immediate (the call depth only augments the index, so
+        instructions from different depths can still match within a set).
+        """
         self.stats.lookups += 1
         index = self.index_of(pc, opcode, imm, call_depth)
-        matches = [entry for entry in self._sets[index]
-                   if self._tag_matches(entry, pc, opcode, imm)]
+        cache_set = self._sets[index]
+        if self.scheme is IndexScheme.PC:
+            matches = [entry for entry in cache_set if entry.pc == pc]
+        else:
+            matches = [entry for entry in cache_set
+                       if entry.opcode is opcode and entry.imm == imm]
         if matches:
             self.stats.tag_hits += 1
-            matches.sort(key=lambda e: e.lru, reverse=True)
+            matches.sort(key=_lru_key, reverse=True)
         return matches
 
     def touch(self, entry: ITEntry) -> None:
@@ -152,7 +158,12 @@ class IntegrationTable:
         if entry.is_reverse:
             self.stats.reverse_insertions += 1
         if len(cache_set) >= self.assoc:
-            victim = min(range(len(cache_set)), key=lambda i: cache_set[i].lru)
+            victim = 0
+            victim_lru = cache_set[0].lru
+            for i in range(1, len(cache_set)):
+                lru = cache_set[i].lru
+                if lru < victim_lru:
+                    victim, victim_lru = i, lru
             cache_set[victim] = entry
             self.stats.evictions += 1
         else:
@@ -181,8 +192,8 @@ class IntegrationTable:
             yield from cache_set
 
 
+def _lru_key(entry: ITEntry) -> int:
+    return entry.lru
+
+
 _OPCODE_IDS = {op: i for i, op in enumerate(Opcode)}
-
-
-def _opcode_id(op: Opcode) -> int:
-    return _OPCODE_IDS[op]

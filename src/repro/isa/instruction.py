@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.isa.opcodes import Opcode, OpClass, OPINFO, is_store
+from repro.isa.opcodes import OpClass, OPINFO, is_store
 from repro.isa.registers import reg_name
 
 
@@ -39,22 +39,30 @@ class StaticInst:
     target: Optional[int] = None
     label: Optional[str] = None
 
-    @property
-    def info(self):
-        return OPINFO[self.op]
-
-    def src_regs(self) -> Tuple[int, ...]:
-        """Logical source registers actually read by this instruction."""
+    # ``info``, ``cls`` and the operand views are precomputed per static
+    # instruction: the per-cycle pipeline loops read them constantly, and an
+    # instance-attribute read is far cheaper than an OPINFO lookup (which
+    # hashes the opcode enum) on every access.
+    def __post_init__(self):
+        info = OPINFO[self.op]
+        object.__setattr__(self, "info", info)
+        object.__setattr__(self, "cls", info.cls)
         srcs = []
         if self.ra is not None:
             srcs.append(self.ra)
         if self.rb is not None:
             srcs.append(self.rb)
-        return tuple(srcs)
+        object.__setattr__(self, "srcs", tuple(srcs))
+        object.__setattr__(self, "dest",
+                           self.rd if info.writes_dest else None)
+
+    def src_regs(self) -> Tuple[int, ...]:
+        """Logical source registers actually read by this instruction."""
+        return self.srcs
 
     def dest_reg(self) -> Optional[int]:
         """Logical destination register, or ``None``."""
-        return self.rd if self.info.writes_dest else None
+        return self.dest
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         info = self.info
@@ -93,7 +101,8 @@ class DynInst:
     """
 
     __slots__ = (
-        "seq", "inst", "pc", "pred_next_pc", "next_pc", "pred_taken",
+        "seq", "inst", "op", "cls", "info",
+        "pc", "pred_next_pc", "next_pc", "pred_taken",
         "call_depth",
         # renaming
         "src_pregs", "src_gens", "dest_preg", "dest_gen", "old_dest_preg",
@@ -107,17 +116,20 @@ class DynInst:
         "src_values", "result", "eff_addr", "store_value",
         "executed", "issued", "completed", "squashed",
         "branch_taken", "branch_mispredicted", "mem_mispeculated",
-        "mis_integrated",
+        "mis_integrated", "cht_counted", "load_probe",
         # timing
         "fetch_cycle", "rename_cycle", "dispatch_cycle", "issue_cycle",
         "complete_cycle", "retire_cycle",
         # resources
-        "rs_index", "lsq_index", "rob_index",
+        "rs_pending", "rs_port", "rs_priority", "in_lsq", "rob_index",
     )
 
     def __init__(self, seq: int, inst: StaticInst):
         self.seq = seq
         self.inst = inst
+        self.op = inst.op
+        self.cls = inst.cls
+        self.info = inst.info
         self.pc = inst.pc
         self.pred_next_pc = None
         self.next_pc = None
@@ -150,19 +162,25 @@ class DynInst:
         self.branch_mispredicted = False
         self.mem_mispeculated = False
         self.mis_integrated = False
+        #: CHT prediction already counted for this dynamic load (the stat is
+        #: once per dynamic instruction, not once per issue poll).
+        self.cht_counted = False
+        #: Per-cycle cache of the load-issue probe: (cycle, addr, store).
+        self.load_probe = None
         self.fetch_cycle = -1
         self.rename_cycle = -1
         self.dispatch_cycle = -1
         self.issue_cycle = -1
         self.complete_cycle = -1
         self.retire_cycle = -1
-        self.rs_index = None
-        self.lsq_index = None
+        #: Source operands still awaited while waiting in the scheduler.
+        self.rs_pending = 0
+        #: Issue port and selection priority, filled at scheduler insert.
+        self.rs_port = None
+        self.rs_priority = 1
+        #: Honest load/store-queue membership flag (set/cleared by the LSQ).
+        self.in_lsq = False
         self.rob_index = None
-
-    @property
-    def op(self) -> Opcode:
-        return self.inst.op
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = []

@@ -98,9 +98,23 @@ class Opcode(enum.Enum):
     NOP = "nop"
 
 
+#: Classes that can redirect the PC.
+_BRANCH_CLASSES = frozenset({
+    OpClass.COND_BRANCH, OpClass.DIRECT_JUMP, OpClass.CALL_DIRECT,
+    OpClass.CALL_INDIRECT, OpClass.INDIRECT_JUMP, OpClass.RETURN,
+})
+
+
 @dataclass(frozen=True)
 class OpInfo:
-    """Static metadata for an opcode."""
+    """Static metadata for an opcode.
+
+    Besides the declared fields, every instance precomputes the class
+    predicates (``is_load``, ``is_store``, ``is_mem``, ``is_cond_branch``,
+    ``is_branch``) as plain attributes: the per-cycle pipeline loops test
+    these millions of times per simulation, and an attribute read avoids
+    re-hashing enum members on every query.
+    """
 
     cls: OpClass
     latency: int = 1
@@ -109,6 +123,45 @@ class OpInfo:
     writes_dest: bool = True
     integrable: bool = True
     fp: bool = False
+
+    def __post_init__(self):
+        cls = self.cls
+        object.__setattr__(self, "is_load", cls is OpClass.LOAD)
+        object.__setattr__(self, "is_store", cls is OpClass.STORE)
+        object.__setattr__(self, "is_mem",
+                           cls is OpClass.LOAD or cls is OpClass.STORE)
+        object.__setattr__(self, "is_cond_branch",
+                           cls is OpClass.COND_BRANCH)
+        object.__setattr__(self, "is_branch", cls in _BRANCH_CLASSES)
+        # Pipeline routing predicates (see repro.core.stages.base for the
+        # class groupings they mirror).
+        object.__setattr__(self, "is_alu", cls in (
+            OpClass.IALU, OpClass.IMUL, OpClass.FP_ADD, OpClass.FP_MUL,
+            OpClass.FP_DIV))
+        object.__setattr__(self, "is_indirect_ctl", cls in (
+            OpClass.CALL_INDIRECT, OpClass.INDIRECT_JUMP, OpClass.RETURN))
+        rename_complete = cls in (
+            OpClass.DIRECT_JUMP, OpClass.CALL_DIRECT, OpClass.SYSCALL,
+            OpClass.NOP)
+        object.__setattr__(self, "rename_complete", rename_complete)
+        object.__setattr__(self, "needs_rs", not rename_complete)
+        # Issue-port class and selection priority used by the scheduler
+        # (repro.core.scheduler); both are functions of cls alone, so they
+        # are precomputed here with the other per-opcode metadata.
+        if cls is OpClass.LOAD:
+            port = "load"
+        elif cls is OpClass.STORE:
+            port = "store"
+        elif cls in (OpClass.IMUL, OpClass.FP_ADD, OpClass.FP_MUL,
+                     OpClass.FP_DIV):
+            port = "complex"
+        else:
+            port = "simple"
+        object.__setattr__(self, "issue_port", port)
+        object.__setattr__(self, "issue_priority", 0 if cls in (
+            OpClass.LOAD, OpClass.COND_BRANCH, OpClass.FP_ADD,
+            OpClass.FP_MUL, OpClass.FP_DIV, OpClass.CALL_INDIRECT,
+            OpClass.INDIRECT_JUMP, OpClass.RETURN) else 1)
 
 
 _RR = dict(cls=OpClass.IALU, latency=1, num_srcs=2, has_imm=False)
@@ -210,31 +263,24 @@ def opcode_from_name(name: str) -> Opcode:
 
 
 def is_load(op: Opcode) -> bool:
-    return OPINFO[op].cls is OpClass.LOAD
+    return OPINFO[op].is_load
 
 
 def is_store(op: Opcode) -> bool:
-    return OPINFO[op].cls is OpClass.STORE
+    return OPINFO[op].is_store
 
 
 def is_mem(op: Opcode) -> bool:
-    return OPINFO[op].cls in (OpClass.LOAD, OpClass.STORE)
+    return OPINFO[op].is_mem
 
 
 def is_cond_branch(op: Opcode) -> bool:
-    return OPINFO[op].cls is OpClass.COND_BRANCH
+    return OPINFO[op].is_cond_branch
 
 
 def is_branch(op: Opcode) -> bool:
     """True for any instruction that can redirect the PC."""
-    return OPINFO[op].cls in (
-        OpClass.COND_BRANCH,
-        OpClass.DIRECT_JUMP,
-        OpClass.CALL_DIRECT,
-        OpClass.CALL_INDIRECT,
-        OpClass.INDIRECT_JUMP,
-        OpClass.RETURN,
-    )
+    return OPINFO[op].is_branch
 
 
 def is_call(op: Opcode) -> bool:

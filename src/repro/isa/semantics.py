@@ -32,6 +32,50 @@ def _shift_amount(value: int) -> int:
     return int(value) & 0x3F
 
 
+# Per-opcode handlers, split so integer handlers see already-coerced ints.
+# Dispatch through a dict costs one (cached) hash instead of walking an
+# identity-comparison chain for every executed instruction.
+_FP_EVAL = {
+    Opcode.ADDT: lambda a, b, imm: float(a) + float(b),
+    Opcode.SUBT: lambda a, b, imm: float(a) - float(b),
+    Opcode.MULT: lambda a, b, imm: float(a) * float(b),
+    Opcode.DIVT: lambda a, b, imm: float(a) / float(b) if b else float("inf"),
+    Opcode.CPYS: lambda a, b, imm: float(a),
+    Opcode.ITOFT: lambda a, b, imm: float(to_signed(int(a))),
+    Opcode.FTOIT: lambda a, b, imm: to_unsigned(int(a)),
+}
+
+_INT_EVAL = {
+    Opcode.ADDQ: lambda a, b, imm: (a + b) & MASK64,
+    Opcode.SUBQ: lambda a, b, imm: (a - b) & MASK64,
+    Opcode.MULQ: lambda a, b, imm: (to_signed(a) * to_signed(b)) & MASK64,
+    Opcode.AND: lambda a, b, imm: a & b,
+    Opcode.OR: lambda a, b, imm: a | b,
+    Opcode.XOR: lambda a, b, imm: (a ^ b) & MASK64,
+    Opcode.SLL: lambda a, b, imm: (a << _shift_amount(b)) & MASK64,
+    Opcode.SRL: lambda a, b, imm: (a & MASK64) >> _shift_amount(b),
+    Opcode.SRA: lambda a, b, imm: to_unsigned(to_signed(a) >> _shift_amount(b)),
+    Opcode.CMPEQ: lambda a, b, imm: 1 if a == b else 0,
+    Opcode.CMPLT: lambda a, b, imm: 1 if to_signed(a) < to_signed(b) else 0,
+    Opcode.CMPLE: lambda a, b, imm: 1 if to_signed(a) <= to_signed(b) else 0,
+    Opcode.CMPULT: lambda a, b, imm: 1 if (a & MASK64) < (b & MASK64) else 0,
+    Opcode.ADDQI: lambda a, b, imm: (a + imm) & MASK64,
+    Opcode.LDA: lambda a, b, imm: (a + imm) & MASK64,
+    Opcode.SUBQI: lambda a, b, imm: (a - imm) & MASK64,
+    Opcode.MULQI: lambda a, b, imm: (to_signed(a) * imm) & MASK64,
+    Opcode.ANDI: lambda a, b, imm: a & (imm & MASK64),
+    Opcode.ORI: lambda a, b, imm: a | (imm & MASK64),
+    Opcode.XORI: lambda a, b, imm: (a ^ imm) & MASK64,
+    Opcode.SLLI: lambda a, b, imm: (a << _shift_amount(imm)) & MASK64,
+    Opcode.SRLI: lambda a, b, imm: (a & MASK64) >> _shift_amount(imm),
+    Opcode.SRAI: lambda a, b, imm: to_unsigned(
+        to_signed(a) >> _shift_amount(imm)),
+    Opcode.CMPEQI: lambda a, b, imm: 1 if to_signed(a) == imm else 0,
+    Opcode.CMPLTI: lambda a, b, imm: 1 if to_signed(a) < imm else 0,
+    Opcode.CMPLEI: lambda a, b, imm: 1 if to_signed(a) <= imm else 0,
+}
+
+
 def evaluate(op: Opcode, a, b, imm):
     """Compute the register result of a non-memory, non-control instruction.
 
@@ -43,74 +87,16 @@ def evaluate(op: Opcode, a, b, imm):
     register that last held a floating-point value; such operands are
     truncated to integers (the result is discarded at the squash anyway).
     """
-    if op is Opcode.ADDT:
-        return float(a) + float(b)
-    if op is Opcode.SUBT:
-        return float(a) - float(b)
-    if op is Opcode.MULT:
-        return float(a) * float(b)
-    if op is Opcode.DIVT:
-        return float(a) / float(b) if b else float("inf")
-    if op is Opcode.CPYS:
-        return float(a)
-    if op is Opcode.ITOFT:
-        return float(to_signed(int(a)))
-    if op is Opcode.FTOIT:
-        return to_unsigned(int(a))
+    fn = _FP_EVAL.get(op)
+    if fn is not None:
+        return fn(a, b, imm)
     if isinstance(a, float):
         a = int(a)
     if isinstance(b, float):
         b = int(b)
-    if op is Opcode.ADDQ:
-        return (a + b) & MASK64
-    if op is Opcode.SUBQ:
-        return (a - b) & MASK64
-    if op is Opcode.MULQ:
-        return (to_signed(a) * to_signed(b)) & MASK64
-    if op is Opcode.AND:
-        return a & b
-    if op is Opcode.OR:
-        return a | b
-    if op is Opcode.XOR:
-        return (a ^ b) & MASK64
-    if op is Opcode.SLL:
-        return (a << _shift_amount(b)) & MASK64
-    if op is Opcode.SRL:
-        return (a & MASK64) >> _shift_amount(b)
-    if op is Opcode.SRA:
-        return to_unsigned(to_signed(a) >> _shift_amount(b))
-    if op is Opcode.CMPEQ:
-        return 1 if a == b else 0
-    if op is Opcode.CMPLT:
-        return 1 if to_signed(a) < to_signed(b) else 0
-    if op is Opcode.CMPLE:
-        return 1 if to_signed(a) <= to_signed(b) else 0
-    if op is Opcode.CMPULT:
-        return 1 if (a & MASK64) < (b & MASK64) else 0
-    if op in (Opcode.ADDQI, Opcode.LDA):
-        return (a + imm) & MASK64
-    if op is Opcode.SUBQI:
-        return (a - imm) & MASK64
-    if op is Opcode.MULQI:
-        return (to_signed(a) * imm) & MASK64
-    if op is Opcode.ANDI:
-        return a & (imm & MASK64)
-    if op is Opcode.ORI:
-        return a | (imm & MASK64)
-    if op is Opcode.XORI:
-        return (a ^ imm) & MASK64
-    if op is Opcode.SLLI:
-        return (a << _shift_amount(imm)) & MASK64
-    if op is Opcode.SRLI:
-        return (a & MASK64) >> _shift_amount(imm)
-    if op is Opcode.SRAI:
-        return to_unsigned(to_signed(a) >> _shift_amount(imm))
-    if op is Opcode.CMPEQI:
-        return 1 if to_signed(a) == imm else 0
-    if op is Opcode.CMPLTI:
-        return 1 if to_signed(a) < imm else 0
-    if op is Opcode.CMPLEI:
-        return 1 if to_signed(a) <= imm else 0
+    fn = _INT_EVAL.get(op)
+    if fn is not None:
+        return fn(a, b, imm)
     raise ValueError(f"evaluate() does not handle opcode {op}")
 
 

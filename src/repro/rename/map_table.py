@@ -41,6 +41,12 @@ class MapTable:
     def get(self, logical: int) -> Mapping:
         return Mapping(self._pregs[logical], self._gens[logical])
 
+    def get_raw(self, logical: int) -> Tuple[int, int]:
+        """``(preg, gen)`` without the Mapping wrapper -- the rename stage
+        reads the map several times per renamed instruction, and allocating
+        a dataclass per read is measurable."""
+        return self._pregs[logical], self._gens[logical]
+
     def set(self, logical: int, preg: int, gen: int) -> None:
         self._pregs[logical] = preg
         self._gens[logical] = gen

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Callable, Deque, List, Optional
 
 ZERO_PREG = 0
 
@@ -61,6 +61,10 @@ class PhysicalRegisterFile:
         self.zero_via_squash: List[bool] = [False] * num_pregs
         self._in_free_queue: List[bool] = [False] * num_pregs
         self._free_queue: Deque[int] = deque()
+        #: Optional not-ready -> ready transition hook; the pipeline wires
+        #: this to the scheduler's wakeup so operand readiness is tracked by
+        #: events instead of per-cycle scans.
+        self.on_ready: Optional[Callable[[int], None]] = None
         # Statistics.
         self.allocations = 0
         self.integrations = 0
@@ -158,7 +162,10 @@ class PhysicalRegisterFile:
         if preg == ZERO_PREG:
             return
         self.values[preg] = value
-        self.ready[preg] = True
+        if not self.ready[preg]:
+            self.ready[preg] = True
+            if self.on_ready is not None:
+                self.on_ready(preg)
 
     def value(self, preg: int):
         return self.values[preg]

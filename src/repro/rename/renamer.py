@@ -24,7 +24,7 @@ from repro.rename.map_table import MapTable, Mapping
 from repro.rename.physical import PhysicalRegisterFile, ZERO_PREG
 
 
-@dataclass
+@dataclass(slots=True)
 class RenameResult:
     """Outcome of renaming one instruction's destination."""
 
@@ -69,22 +69,21 @@ class Renamer:
         instruction's logical sources."""
         pregs: List[int] = []
         gens: List[int] = []
-        for logical in dyn.inst.src_regs():
+        get_raw = self.map_table.get_raw
+        for logical in dyn.inst.srcs:
             if is_zero_reg(logical):
                 pregs.append(ZERO_PREG)
                 gens.append(0)
             else:
-                mapping = self.map_table.get(logical)
-                pregs.append(mapping.preg)
-                gens.append(mapping.gen)
+                preg, gen = get_raw(logical)
+                pregs.append(preg)
+                gens.append(gen)
         dyn.src_pregs = pregs
         dyn.src_gens = gens
         return pregs, gens
 
     def _record_old_mapping(self, dyn: DynInst, logical: int) -> None:
-        old = self.map_table.get(logical)
-        dyn.old_dest_preg = old.preg
-        dyn.old_dest_gen = old.gen
+        dyn.old_dest_preg, dyn.old_dest_gen = self.map_table.get_raw(logical)
 
     def allocate_dest(self, dyn: DynInst) -> Optional[RenameResult]:
         """Conventionally rename the destination (claim a new register).
@@ -94,7 +93,7 @@ class Renamer:
         register destination (stores, branches, writes to the zero register)
         succeed trivially.
         """
-        dest = dyn.inst.dest_reg()
+        dest = dyn.inst.dest
         if dest is None or is_zero_reg(dest):
             dyn.dest_preg = None
             return RenameResult(allocated=False, integrated=False, preg=None,
@@ -116,7 +115,7 @@ class Renamer:
         Returns False if the reference counter is saturated, in which case
         the caller falls back to :meth:`allocate_dest`.
         """
-        dest = dyn.inst.dest_reg()
+        dest = dyn.inst.dest
         if dest is None or is_zero_reg(dest):
             # Integration of a branch (no register output): nothing to map.
             dyn.dest_preg = None
@@ -137,7 +136,7 @@ class Renamer:
         logical register ceases to be visible and drops one reference.  The
         instruction's own output keeps its reference (it is now the retired
         architectural mapping)."""
-        dest = dyn.inst.dest_reg()
+        dest = dyn.inst.dest
         if dest is None or is_zero_reg(dest) or dyn.dest_preg is None:
             return
         if dyn.old_dest_preg is not None:
@@ -150,7 +149,7 @@ class Renamer:
         restores the map table and reference vector exactly as the paper's
         serial ROB-walk recovery does.
         """
-        dest = dyn.inst.dest_reg()
+        dest = dyn.inst.dest
         if dest is None or is_zero_reg(dest) or dyn.dest_preg is None:
             return
         self.prf.release(dyn.dest_preg, via_squash=True)
