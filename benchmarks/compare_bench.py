@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Diff two pytest-benchmark JSON files and flag perf regressions.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
+        [--threshold 1.25]
+
+Compares mean wall-clock per benchmark *name* (only names present in both
+files -- newly added benchmarks are listed but not judged).  Exits non-zero
+if any common benchmark got slower than ``threshold x`` the baseline mean,
+so CI can flag the regression; machine-to-machine noise means this is a
+tripwire, not a precision instrument, hence the generous default threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {bench["fullname"]: bench["stats"]["mean"]
+            for bench in data.get("benchmarks", [])}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail when current mean > threshold x baseline "
+                             "(default: 1.25)")
+    args = parser.parse_args()
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    common = sorted(set(baseline) & set(current))
+    added = sorted(set(current) - set(baseline))
+
+    regressions = []
+    print(f"{'benchmark':<72} {'base(s)':>10} {'now(s)':>10} {'ratio':>7}")
+    print("-" * 102)
+    for name in common:
+        ratio = current[name] / baseline[name] if baseline[name] else 0.0
+        flag = "  << REGRESSION" if ratio > args.threshold else ""
+        print(f"{name:<72} {baseline[name]:>10.5f} {current[name]:>10.5f} "
+              f"{ratio:>6.2f}x{flag}")
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+    for name in added:
+        print(f"{name:<72} {'-':>10} {current[name]:>10.5f}   (new)")
+
+    if not common:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 0
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) slower than "
+              f"{args.threshold:.2f}x baseline", file=sys.stderr)
+        return 1
+    print(f"\nok: {len(common)} common benchmark(s) within "
+          f"{args.threshold:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

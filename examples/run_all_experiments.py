@@ -5,14 +5,18 @@ EXPERIMENTS.md.
 Usage::
 
     python examples/run_all_experiments.py [--all] [--scale S] [-o FILE]
-                                           [--jobs N]
+                                           [--jobs N] [--shards S]
 
 Simulations fan out over ``--jobs`` worker processes and hit the on-disk
 result cache (see ``python -m repro cache info``), so re-runs are
-near-instant.
+near-instant.  ``--shards`` additionally splits every benchmark into
+checkpointed slices (see docs/ARCHITECTURE.md, "Checkpointing & sharded
+runs") so even a single long benchmark spreads over all workers; keep the
+default of 1 when bit-exact cycle counts matter.
 """
 
 import argparse
+import os
 import sys
 
 from repro.experiments import DEFAULT_BENCHMARKS, FAST_BENCHMARKS, telemetry
@@ -35,7 +39,13 @@ def main() -> None:
     parser.add_argument("--skip-ablations", action="store_true")
     parser.add_argument("--jobs", type=int, default=None,
                         help="parallel simulation processes; 0 = one per CPU")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="checkpointed slices per benchmark "
+                             "(1 = bit-exact unsharded engine)")
     args = parser.parse_args()
+    if args.shards is not None:
+        # The figure modules resolve shards through REPRO_SHARDS.
+        os.environ["REPRO_SHARDS"] = str(args.shards)
     benchmarks = DEFAULT_BENCHMARKS if args.all else FAST_BENCHMARKS
 
     out = open(args.output, "w") if args.output else sys.stdout

@@ -6,8 +6,10 @@ Subcommands::
     repro figures  -- regenerate the paper's figure/table reports
     repro cache    -- inspect or clear the on-disk result cache
 
-``--jobs`` fans simulations out over a process pool; ``--scale`` shrinks or
-grows the synthetic workloads; ``--benchmarks`` picks the benchmark set
+``--jobs`` fans simulations out over a process pool; ``--shards`` splits
+every benchmark into checkpointed slices so even one long benchmark uses
+many cores (1 = bit-exact unsharded engine); ``--scale`` shrinks or grows
+the synthetic workloads; ``--benchmarks`` picks the benchmark set
 (``smoke``/``fast``/``all`` or an explicit comma-separated list).
 """
 
@@ -51,8 +53,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="parallel simulation processes; 0 = one per "
                              "CPU (default: REPRO_JOBS or 1)")
+    parser.add_argument("--shards", type=int, default=None, metavar="S",
+                        help="checkpointed slices per benchmark; 1 = "
+                             "bit-exact unsharded engine (default: "
+                             "REPRO_SHARDS or 1)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the result caches entirely")
+
+
+def _check_shards(args: argparse.Namespace) -> None:
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit(f"invalid --shards {args.shards}: must be >= 1 "
+                         f"(1 = unsharded)")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -60,6 +72,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import runner
     from repro.integration.config import IntegrationConfig
 
+    _check_shards(args)
     benchmarks = _parse_benchmarks(args.benchmarks)
     machine = MachineConfig()
     named = {
@@ -78,7 +91,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                      for name in wanted}
 
     results = runner.run_suite(benchmarks, suite_configs, scale=args.scale,
-                               jobs=args.jobs,
+                               jobs=args.jobs, shards=args.shards,
                                use_cache=not args.no_cache)
     header = (f"{'benchmark':<12} {'config':<8} {'cycles':>9} {'retired':>9} "
               f"{'IPC':>7} {'int.rate':>9} {'misint/M':>9}")
@@ -91,17 +104,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"{stats.retired:>9} {stats.ipc:>7.3f} "
                   f"{stats.integration_rate:>9.3f} "
                   f"{stats.mis_integrations_per_million:>9.1f}")
-    print(f"\n{runner.telemetry.simulations} simulations, "
+    sliced = runner.telemetry.slices_simulated
+    print(f"\n{runner.telemetry.simulations} simulations"
+          + (f" ({sliced} slices)" if sliced else "") + ", "
           f"{runner.telemetry.memory_hits} memory hits, "
           f"{runner.telemetry.disk_hits} disk hits")
     return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
+    import os
+
     from repro.experiments import ablations, diagnostics
     from repro.experiments import figure4, figure5, figure6, figure7
     from repro.experiments import runner
 
+    _check_shards(args)
+    if args.shards is not None:
+        # The figure modules call run_suite without a shards argument, so
+        # it resolves through REPRO_SHARDS; route the CLI flag there.
+        os.environ["REPRO_SHARDS"] = str(args.shards)
     benchmarks = _parse_benchmarks(args.benchmarks)
     available = {
         "4": lambda: figure4.report(figure4.run(

@@ -56,13 +56,22 @@ class Processor:
 
     def __init__(self, program: Program,
                  config: Optional[MachineConfig] = None,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None,
+                 initial_state: Optional[ArchState] = None):
         self.program = program
         self.config = config or MachineConfig()
         icfg = self.config.integration
 
         # Architectural (committed) state -- owned by the DIVA checker.
-        arch = ArchState(memory=SparseMemory(program.data), pc=program.entry)
+        # ``initial_state`` resumes from a functional checkpoint (the
+        # retirement stream is the functional stream, so a checkpoint after k
+        # instructions is exactly the machine state after k retirements); it
+        # is copied so the caller's checkpoint stays reusable.
+        if initial_state is not None:
+            arch = initial_state.copy()
+        else:
+            arch = ArchState(memory=SparseMemory(program.data),
+                             pc=program.entry)
         diva = DivaChecker(arch)
 
         # Substrates.
@@ -109,6 +118,12 @@ class Processor:
             self.front_end, self.rename_integrate, self.issue_execute,
             self.commit_diva)
 
+        # Counter baselines, advanced past the stats-discarded warm-up phase
+        # of a sliced run (zero for ordinary whole-program runs).
+        self._cycle_base = 0
+        self._cht_hits_base = 0
+        self._cht_trainings_base = 0
+
         # Convenience aliases kept for tests, tools and documentation.
         self.arch = arch
         self.diva = diva
@@ -151,12 +166,19 @@ class Processor:
         state.stats.rs_occupancy_samples += 1
         state.cycle += 1
 
-    def run(self, max_instructions: Optional[int] = None) -> SimStats:
-        """Simulate until the program exits (or a limit is hit)."""
+    def _run_phase(self, budget: Optional[int]) -> None:
+        """Advance the clock until halt or exactly ``budget`` retirements.
+
+        The commit stage refuses to retire past ``state.retire_budget``, so
+        the machine stops on a precise architectural instruction boundary
+        (the property sharded slices rely on to recombine losslessly).
+        """
         state = self.state
         config = self.config
-        stats = state.stats
+        state.retire_budget = budget
         while not state.arch.halted:
+            if budget is not None and state.stats.retired >= budget:
+                break
             if state.cycle >= config.max_cycles:
                 raise SimulationError(
                     f"{self.program.name}: exceeded {config.max_cycles} cycles")
@@ -166,18 +188,59 @@ class Processor:
                     f"{config.deadlock_cycles} cycles at cycle {state.cycle} "
                     f"(ROB={len(state.rob)}, RS={state.rs.occupancy})")
             self.step()
-            if (max_instructions is not None
-                    and stats.retired >= max_instructions):
-                break
-        stats.cycles = state.cycle
-        stats.cht_hits = state.cht.hits
-        stats.cht_trainings = state.cht.trainings
+
+    def run(self, max_instructions: Optional[int] = None,
+            warmup_instructions: int = 0) -> SimStats:
+        """Simulate until the program exits (or a limit is hit).
+
+        ``max_instructions`` is an *exact* retired-instruction budget.
+        ``warmup_instructions`` retires that many instructions first in full
+        detail but *discards* their statistics: microarchitectural state
+        (caches, branch predictor, integration table) is warm when counting
+        starts, which is what keeps a mid-program slice's IPC close to the
+        same region of an uninterrupted run.  The warm-up instructions do
+        advance architectural state, so a slice resumed from the checkpoint
+        at ``boundary - warmup`` with ``warmup_instructions=warmup`` counts
+        exactly the instructions in ``[boundary, boundary + budget)``.
+        """
+        state = self.state
+        if warmup_instructions:
+            self._run_phase(warmup_instructions)
+            # Reset the counters; microarchitectural state stays warm.
+            warm = state.stats
+            fresh = SimStats(benchmark=warm.benchmark,
+                             config_name=warm.config_name)
+            state.stats = fresh
+            self.stats = fresh
+            self._cycle_base = state.cycle
+            self._cht_hits_base = state.cht.hits
+            self._cht_trainings_base = state.cht.trainings
+        remaining = None
+        if max_instructions is not None:
+            remaining = max(0, max_instructions)
+        self._run_phase(remaining)
+        stats = state.stats
+        stats.cycles = state.cycle - self._cycle_base
+        stats.cht_hits = state.cht.hits - self._cht_hits_base
+        stats.cht_trainings = state.cht.trainings - self._cht_trainings_base
         return stats
 
 
 def simulate(program: Program, config: Optional[MachineConfig] = None,
              name: Optional[str] = None,
-             max_instructions: Optional[int] = None) -> SimStats:
-    """Convenience wrapper: build a :class:`Processor` and run it."""
-    processor = Processor(program, config=config, name=name)
-    return processor.run(max_instructions=max_instructions)
+             max_instructions: Optional[int] = None,
+             initial_state: Optional[ArchState] = None,
+             warmup_instructions: int = 0) -> SimStats:
+    """Convenience wrapper: build a :class:`Processor` and run it.
+
+    ``initial_state`` starts the machine from an architectural checkpoint
+    (see :func:`repro.functional.emulator.collect_checkpoints`);
+    ``warmup_instructions`` retires a stats-discarded detailed warm-up
+    first; ``max_instructions`` then stops the run after exactly that many
+    counted retirements.  Together they simulate one slice of a sharded
+    run.
+    """
+    processor = Processor(program, config=config, name=name,
+                          initial_state=initial_state)
+    return processor.run(max_instructions=max_instructions,
+                         warmup_instructions=warmup_instructions)

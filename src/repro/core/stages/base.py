@@ -56,7 +56,7 @@ class PipelineState:
         "program", "config", "arch", "diva", "mem", "predictor", "prf",
         "map_table", "renamer", "integration", "rob", "rs", "lsq", "cht",
         "stats", "cycle", "seq", "last_retire_cycle", "preg_producer",
-        "predictions",
+        "predictions", "retire_budget",
     )
 
     def __init__(self, *, program, config, arch, diva, mem, predictor, prf,
@@ -83,6 +83,10 @@ class PipelineState:
         self.last_retire_cycle = 0
         self.preg_producer: Dict[int, DynInst] = {}
         self.predictions: Dict[int, object] = {}
+        #: Exact retired-instruction stop (None = run to completion).  The
+        #: commit stage refuses to retire past it, so a slice ends on a
+        #: precise architectural instruction boundary.
+        self.retire_budget: Optional[int] = None
 
 
 class RecoveryController:

@@ -57,8 +57,13 @@ class CommitDiva:
     # ------------------------------------------------------------------
     def tick(self) -> None:
         state = self.state
+        budget = state.retire_budget
         retired = 0
         while retired < state.config.retire_width:
+            if budget is not None and state.stats.retired >= budget:
+                # Exact slice boundary: never retire past the budget, so a
+                # resumed run stops on a precise instruction boundary.
+                break
             dyn = state.rob.head()
             if dyn is None or not self._can_retire(dyn):
                 break

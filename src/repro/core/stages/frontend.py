@@ -24,7 +24,9 @@ class FrontEnd:
 
     def __init__(self, state: PipelineState):
         self.state = state
-        self.fetch_pc = state.program.entry
+        # Fetch starts at the architectural PC: the program entry for a
+        # fresh run, the checkpoint PC when resuming a slice.
+        self.fetch_pc = state.arch.pc
         self.fetch_resume_cycle = 0
         self.fetch_halted = False
         #: (DynInst, rename_ready_cycle) pairs in fetch order.

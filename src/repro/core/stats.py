@@ -14,7 +14,7 @@ import dataclasses
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 
 class IntegrationType(enum.Enum):
@@ -179,6 +179,42 @@ class SimStats:
         within = sum(count for rc, count in self.integration_refcount.items()
                      if rc <= limit)
         return within / self.integrated
+
+    # ------------------------------------------------------------------
+    # lossless recombination of per-slice statistics
+    # ------------------------------------------------------------------
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Combine two runs' counters losslessly into a new :class:`SimStats`.
+
+        Every raw counter is a sum (including the occupancy/latency
+        accumulator + sample pairs, so the derived averages recombine
+        correctly); the histogram ``Counter`` fields add element-wise.  The
+        operation is associative with ``SimStats()`` as identity, which is
+        what lets sharded simulation merge per-slice statistics in any
+        grouping and get the same result.  Identification fields
+        (``benchmark``/``config_name``) keep the first non-empty value.
+        """
+        merged = SimStats()
+        for f in dataclasses.fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if isinstance(mine, Counter):
+                total: Counter = Counter(mine)
+                total.update(theirs)
+                setattr(merged, f.name, total)
+            elif isinstance(mine, str):
+                setattr(merged, f.name, mine or theirs)
+            else:
+                setattr(merged, f.name, mine + theirs)
+        return merged
+
+    @classmethod
+    def merge_all(cls, parts: "Iterable[SimStats]") -> "SimStats":
+        """Fold :meth:`merge` over ``parts`` (empty input -> identity)."""
+        merged = cls()
+        for part in parts:
+            merged = merged.merge(part)
+        return merged
 
     # ------------------------------------------------------------------
     # canonical serialization (used by the on-disk result cache)

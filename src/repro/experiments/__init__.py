@@ -1,6 +1,7 @@
 """Experiment harness: one module per table/figure of the paper's evaluation.
 
 * :mod:`repro.experiments.runner`     -- the parallel, disk-cached run engine
+* :mod:`repro.experiments.sharding`   -- checkpointed intra-benchmark slices
 * :mod:`repro.experiments.cache`      -- content-addressed on-disk results
 * :mod:`repro.experiments.figure4`    -- extension-by-extension speedups and
   integration rates (Figure 4), realistic vs oracle LISP
@@ -17,7 +18,12 @@ Each module exposes ``run(...)`` returning a structured result and
 ``report(result)`` returning the paper-style text table.
 """
 
-from repro.experiments.cache import ResultCache, code_version, result_key
+from repro.experiments.cache import (
+    PayloadCache,
+    ResultCache,
+    code_version,
+    result_key,
+)
 from repro.experiments.runner import (
     DEFAULT_BENCHMARKS,
     FAST_BENCHMARKS,
@@ -26,6 +32,8 @@ from repro.experiments.runner import (
     clear_cache,
     default_jobs,
     default_scale,
+    default_shards,
+    default_warmup_fraction,
     run_benchmark,
     run_suite,
     telemetry,
@@ -36,11 +44,14 @@ __all__ = [
     "EnvVarError",
     "FAST_BENCHMARKS",
     "SMOKE_BENCHMARKS",
+    "PayloadCache",
     "ResultCache",
     "clear_cache",
     "code_version",
     "default_jobs",
     "default_scale",
+    "default_shards",
+    "default_warmup_fraction",
     "result_key",
     "run_benchmark",
     "run_suite",

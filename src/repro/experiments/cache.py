@@ -84,8 +84,13 @@ def result_key(benchmark: str, scale: float, config: Any) -> str:
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
-class ResultCache:
-    """JSON-per-result cache laid out as ``<root>/<kk>/<key>.json``."""
+class PayloadCache:
+    """JSON-per-entry cache laid out as ``<root>/<kk>/<key>.json``.
+
+    Stores arbitrary JSON-serializable dictionaries; the checkpoint-plan
+    cache of :mod:`repro.experiments.sharding` uses it directly, and
+    :class:`ResultCache` layers the :class:`SimStats` schema on top.
+    """
 
     def __init__(self, root: Optional[Path] = None):
         self.root = Path(root) if root is not None else cache_dir()
@@ -97,8 +102,8 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def load(self, key: str) -> Optional[SimStats]:
-        """Return the cached result, or None on miss/corruption.
+    def load_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached JSON payload, or None on miss/corruption.
 
         A transient read error (EIO, stale handle) is a plain miss -- the
         entry stays on disk.  A decode failure means the entry is corrupt
@@ -111,7 +116,9 @@ class ResultCache:
             self.misses += 1
             return None
         try:
-            result = SimStats.from_dict(json.loads(raw.decode("utf-8")))
+            payload = json.loads(raw.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
         except Exception:
             try:
                 path.unlink()
@@ -120,17 +127,17 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        return payload
 
-    def store(self, key: str, result: SimStats) -> None:
-        """Atomically persist one result, best-effort.
+    def store_payload(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist one JSON payload, best-effort.
 
         Encoding errors propagate (they are programming errors), but cache
         I/O failures -- unwritable directory, full disk -- are swallowed:
         losing a cache write must never lose the computed result.
         """
-        payload = json.dumps(result.to_dict(), sort_keys=True,
-                             separators=(",", ":")).encode("utf-8")
+        data = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
         path = self.path_for(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -139,7 +146,7 @@ class ResultCache:
             return
         try:
             with os.fdopen(fd, "wb") as fh:
-                fh.write(payload)
+                fh.write(data)
             os.replace(tmp, path)
         except OSError:
             try:
@@ -148,6 +155,31 @@ class ResultCache:
                 pass
             return
         self.stores += 1
+
+
+class ResultCache(PayloadCache):
+    """:class:`PayloadCache` specialised to :class:`SimStats` entries."""
+
+    def load(self, key: str) -> Optional[SimStats]:
+        """Return the cached result, or None on miss/corruption."""
+        payload = self.load_payload(key)
+        if payload is None:
+            return None
+        try:
+            return SimStats.from_dict(payload)
+        except Exception:
+            # Stale schema: drop the entry and treat it as a miss.
+            try:
+                self.path_for(key).unlink()
+            except OSError:
+                pass
+            self.hits -= 1
+            self.misses += 1
+            return None
+
+    def store(self, key: str, result: SimStats) -> None:
+        """Atomically persist one result, best-effort."""
+        self.store_payload(key, result.to_dict())
 
     # ------------------------------------------------------------------
     def info(self) -> Dict[str, Any]:

@@ -6,16 +6,21 @@ maps to exactly one :class:`~repro.core.stats.SimStats`; results are cached
 at two levels:
 
 * an in-process memo (so e.g. the no-integration baseline is shared between
-  Figure 4 and Figure 7 within one run), and
+  Figure 4 and Figure 7 within one run) -- LRU-bounded so long-lived
+  processes doing many sweeps don't grow without limit, and
 * the content-addressed on-disk :class:`~repro.experiments.cache.ResultCache`
   keyed by benchmark x scale x config fingerprint x code version (so a warm
   repeat of a whole figure sweep performs zero simulations).
 
 :func:`run_suite` is the fan-out point: it deduplicates the (benchmark,
 config) job matrix against both caches and executes the remaining jobs on a
-``multiprocessing`` pool when ``jobs > 1``.  Because simulation is
-deterministic, the parallel path returns bit-identical stats to the serial
-path.
+``multiprocessing`` pool when ``jobs > 1``, longest job first so short jobs
+backfill around the stragglers.  With ``shards > 1`` each benchmark is
+additionally split into checkpointed slices (see
+:mod:`repro.experiments.sharding`) that are scheduled as independent pool
+jobs, cutting the tail latency a single long benchmark otherwise imposes on
+the whole sweep.  Because simulation is deterministic, the parallel path
+returns bit-identical stats to the serial path at any shard count.
 """
 
 from __future__ import annotations
@@ -23,12 +28,15 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core import MachineConfig, SimStats, simulate
+from repro.experiments import sharding
 from repro.experiments.cache import ResultCache, disk_cache_enabled, result_key
 from repro.workloads import build_workload, workload_names
+from repro.workloads.spec_like import estimate_dynamic_insts
 
 #: The full benchmark list (paper Figure 4 order).
 DEFAULT_BENCHMARKS: Tuple[str, ...] = tuple(workload_names())
@@ -42,7 +50,6 @@ FAST_BENCHMARKS: Tuple[str, ...] = (
 #: An even smaller subset for smoke tests.
 SMOKE_BENCHMARKS: Tuple[str, ...] = ("gzip", "crafty", "mcf")
 
-_MEMORY_CACHE: Dict[str, SimStats] = {}
 _DISK_CACHE: Optional[ResultCache] = None
 
 
@@ -53,11 +60,15 @@ class RunTelemetry:
     simulations: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    memory_evictions: int = 0
+    slices_simulated: int = 0
 
     def reset(self) -> None:
         self.simulations = 0
         self.memory_hits = 0
         self.disk_hits = 0
+        self.memory_evictions = 0
+        self.slices_simulated = 0
 
 
 telemetry = RunTelemetry()
@@ -91,13 +102,13 @@ def env_float(name: str, default: str) -> float:
     return value
 
 
-def _env_int(name: str, default: str) -> int:
+def _env_int(name: str, default: str,
+             expected: str = "an integer") -> int:
     raw = os.environ.get(name, default).strip() or default
     try:
         return int(raw)
     except ValueError:
-        raise EnvVarError(name, raw, "an integer (0 = one worker per CPU)"
-                          ) from None
+        raise EnvVarError(name, raw, expected) from None
 
 
 def default_scale() -> float:
@@ -119,10 +130,89 @@ def default_jobs(jobs: Optional[int] = None) -> int:
     message instead of a bare ``ValueError`` traceback.
     """
     if jobs is None:
-        jobs = _env_int("REPRO_JOBS", "1")
+        jobs = _env_int("REPRO_JOBS", "1",
+                        "an integer (0 = one worker per CPU)")
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return max(1, jobs)
+
+
+def default_shards(shards: Optional[int] = None) -> int:
+    """Resolve a shard count: explicit > ``REPRO_SHARDS`` > unsharded.
+
+    ``1`` (the default) is the unsharded engine with bit-identical results;
+    higher values split every benchmark into that many checkpointed slices.
+    The count is clamped to :data:`repro.experiments.sharding.MAX_SHARDS`.
+    A bad env value raises :class:`EnvVarError`; a bad explicit argument is
+    the caller's bug and raises :class:`ValueError`.
+    """
+    if shards is None:
+        shards = _env_int("REPRO_SHARDS", "1",
+                          "a positive shard count (1 = unsharded)")
+        if shards < 1:
+            raise EnvVarError("REPRO_SHARDS", str(shards),
+                              "a positive shard count (1 = unsharded)")
+    elif shards < 1:
+        raise ValueError(f"shards must be >= 1 (got {shards}); "
+                         f"1 means unsharded")
+    return min(shards, sharding.MAX_SHARDS)
+
+
+def default_warmup_fraction() -> float:
+    """Slice warm-up length as a fraction of the slice, from the
+    ``REPRO_SHARD_WARMUP`` env var (default 1.0 = one full slice)."""
+    return env_float("REPRO_SHARD_WARMUP",
+                     str(sharding.DEFAULT_WARMUP_FRACTION))
+
+
+def default_memcache_entries() -> int:
+    """LRU capacity of the in-process result memo (``REPRO_MEMCACHE_MAX``).
+
+    Counts entries, not bytes; ``0`` or a negative value disables the bound.
+    """
+    return _env_int("REPRO_MEMCACHE_MAX", "4096",
+                    "an entry count (0 = unbounded)")
+
+
+class _LruMemo:
+    """A small LRU mapping of cache key -> :class:`SimStats`.
+
+    Bounds the in-process memo so a long-lived process sweeping many
+    (benchmark, scale, config) points does not grow memory without limit.
+    The capacity is re-read from the environment on insertion, so tests
+    (and operators) can tighten it at runtime; evictions are surfaced in
+    :data:`telemetry`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: "OrderedDict[str, SimStats]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[SimStats]:
+        stats = self._entries.get(key)
+        if stats is not None:
+            self._entries.move_to_end(key)
+        return stats
+
+    def __setitem__(self, key: str, stats: SimStats) -> None:
+        self._entries[key] = stats
+        self._entries.move_to_end(key)
+        limit = default_memcache_entries()
+        if limit > 0:
+            while len(self._entries) > limit:
+                self._entries.popitem(last=False)
+                telemetry.memory_evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_MEMORY_CACHE = _LruMemo()
 
 
 def _disk_cache() -> Optional[ResultCache]:
@@ -136,9 +226,10 @@ def _disk_cache() -> Optional[ResultCache]:
 
 
 def clear_cache(disk: bool = False) -> int:
-    """Drop the in-process memo (and optionally the on-disk cache)."""
+    """Drop the in-process memos (and optionally the on-disk cache)."""
     global _DISK_CACHE
     _MEMORY_CACHE.clear()
+    sharding.clear_plan_memo()
     removed = 0
     if disk:
         cache = _disk_cache()
@@ -180,9 +271,20 @@ def _cache_store(key: str, stats: SimStats, to_disk: bool = True) -> None:
 
 def run_benchmark(benchmark: str, config: MachineConfig,
                   scale: Optional[float] = None,
-                  use_cache: bool = True) -> SimStats:
-    """Simulate one benchmark under one machine configuration."""
+                  use_cache: bool = True,
+                  shards: Optional[int] = None) -> SimStats:
+    """Simulate one benchmark under one machine configuration.
+
+    ``shards > 1`` runs the checkpointed-slice engine serially (the
+    parallel slice scheduling lives in :func:`run_suite`); ``shards=1``
+    is the plain, bit-exact whole-program simulation.
+    """
     scale = default_scale() if scale is None else scale
+    shards = default_shards(shards)
+    if shards > 1:
+        results = run_suite([benchmark], {"_": config}, scale=scale,
+                            jobs=1, use_cache=use_cache, shards=shards)
+        return results["_"][benchmark]
     if not use_cache:
         return _simulate(benchmark, config, scale)
     key = result_key(benchmark, scale, config)
@@ -197,22 +299,30 @@ def run_benchmark(benchmark: str, config: MachineConfig,
 # ----------------------------------------------------------------------
 # the parallel suite engine
 # ----------------------------------------------------------------------
-def _pool_worker(job: Tuple[str, str, MachineConfig, float, bool]
-                 ) -> Tuple[str, bool, SimStats]:
-    """Run one simulation job in a worker process.
+#: One schedulable pool job.  ``slice_spec``/``checkpoint`` are None for a
+#: whole-program job; ``est_work`` orders jobs longest-first.
+_Job = Tuple[str, str, MachineConfig, float, bool, object, object]
+
+
+def _pool_worker(job: _Job) -> Tuple[str, bool, SimStats]:
+    """Run one simulation job (whole program or one slice) in a worker.
 
     Re-checks the disk cache in the child (cheap insurance against jobs
     cached by a concurrent process) and persists the result before handing
     it back, so a crashed parent loses nothing.
     """
-    key, benchmark, config, scale, use_cache = job
+    key, benchmark, config, scale, use_cache, slice_spec, checkpoint = job
     disk = _disk_cache() if use_cache else None
     if disk is not None:
         stats = disk.load(key)
         if isinstance(stats, SimStats):
             return key, False, stats
     program = build_workload(benchmark, scale=scale)
-    stats = simulate(program, config, name=benchmark)
+    if slice_spec is None:
+        stats = simulate(program, config, name=benchmark)
+    else:
+        stats = sharding.simulate_slice(program, config, slice_spec,
+                                        checkpoint, name=benchmark)
     if disk is not None:
         disk.store(key, stats)
     return key, True, stats
@@ -226,11 +336,60 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def _execute_jobs(jobs_list: List[Tuple[int, _Job]], jobs: int,
+                  use_cache: bool) -> Dict[str, SimStats]:
+    """Run every job, longest first, and return ``{key: stats}``.
+
+    With ``jobs > 1`` the work goes to a process pool via
+    ``imap_unordered``: results are consumed as they finish (no barrier on
+    the slowest job) and the longest-first submission order lets short jobs
+    backfill idle workers instead of queueing behind stragglers.
+    """
+    ordered = [job for _, job in
+               sorted(jobs_list, key=lambda item: item[0], reverse=True)]
+    outcomes: Dict[str, SimStats] = {}
+    if jobs > 1 and len(ordered) > 1:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(jobs, len(ordered))) as pool:
+            for key, simulated, stats in pool.imap_unordered(
+                    _pool_worker, ordered):
+                if simulated:
+                    telemetry.simulations += 1
+                else:
+                    telemetry.disk_hits += 1
+                if use_cache:
+                    # The worker already persisted to disk.
+                    _cache_store(key, stats, to_disk=False)
+                outcomes[key] = stats
+    else:
+        # One Program instance per benchmark: slice jobs of the same
+        # benchmark (across every config) share it instead of regenerating.
+        programs: Dict[Tuple[str, float], object] = {}
+        for job in ordered:
+            key, benchmark, config, scale, _, slice_spec, checkpoint = job
+            if slice_spec is None:
+                stats = _simulate(benchmark, config, scale)
+            else:
+                program = programs.get((benchmark, scale))
+                if program is None:
+                    program = build_workload(benchmark, scale=scale)
+                    programs[(benchmark, scale)] = program
+                telemetry.simulations += 1
+                stats = sharding.simulate_slice(program, config, slice_spec,
+                                                checkpoint, name=benchmark)
+            if use_cache:
+                _cache_store(key, stats)
+            outcomes[key] = stats
+    return outcomes
+
+
 def run_suite(benchmarks: Iterable[str],
               configs: Mapping[str, MachineConfig],
               scale: Optional[float] = None,
               jobs: Optional[int] = None,
               use_cache: bool = True,
+              shards: Optional[int] = None,
+              warmup_fraction: Optional[float] = None,
               ) -> Dict[str, Dict[str, SimStats]]:
     """Run every benchmark under every named configuration.
 
@@ -239,10 +398,20 @@ def run_suite(benchmarks: Iterable[str],
     bit-identical to the serial path because simulation is deterministic.
     Identical configurations registered under different names are
     deduplicated and simulated once.
+
+    ``shards > 1`` splits every benchmark into that many checkpointed
+    slices which are scheduled as independent jobs (see
+    :mod:`repro.experiments.sharding`): per-slice results are cached under
+    content keys of their own, checkpoints are built once per benchmark and
+    shared across every config, and the merged stats are cached under a
+    shard-aware key so they can never shadow an unsharded result.
     """
     benchmarks = list(benchmarks)
     scale = default_scale() if scale is None else scale
     jobs = default_jobs(jobs)
+    shards = default_shards(shards)
+    if warmup_fraction is None:
+        warmup_fraction = default_warmup_fraction()
 
     results: Dict[str, Dict[str, SimStats]] = {name: {} for name in configs}
     # One simulation per unique content key, however many names point at it.
@@ -250,7 +419,11 @@ def run_suite(benchmarks: Iterable[str],
     job_specs: Dict[str, Tuple[str, MachineConfig]] = {}
     for config_name, config in configs.items():
         for benchmark in benchmarks:
-            key = result_key(benchmark, scale, config)
+            if shards > 1:
+                key = sharding.merged_key(benchmark, scale, config,
+                                          shards, warmup_fraction)
+            else:
+                key = result_key(benchmark, scale, config)
             placements.setdefault(key, []).append((config_name, benchmark))
             job_specs.setdefault(key, (benchmark, config))
 
@@ -263,28 +436,64 @@ def run_suite(benchmarks: Iterable[str],
             for config_name, bench in placements[key]:
                 results[config_name][bench] = stats
 
-    if pending:
-        if jobs > 1 and len(pending) > 1:
-            ctx = _pool_context()
-            payload = [(key, benchmark, config, scale, use_cache)
-                       for key, benchmark, config in pending]
-            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-                outcomes = pool.map(_pool_worker, payload)
-            for key, simulated, stats in outcomes:
-                if simulated:
-                    telemetry.simulations += 1
-                else:
-                    telemetry.disk_hits += 1
-                if use_cache:
-                    # The worker already persisted to disk.
-                    _cache_store(key, stats, to_disk=False)
-                for config_name, bench in placements[key]:
-                    results[config_name][bench] = stats
-        else:
-            for key, benchmark, config in pending:
-                stats = _simulate(benchmark, config, scale)
-                if use_cache:
-                    _cache_store(key, stats)
-                for config_name, bench in placements[key]:
-                    results[config_name][bench] = stats
+    if not pending:
+        return results
+
+    if shards <= 1:
+        jobs_list = [
+            (estimate_dynamic_insts(benchmark, scale),
+             (key, benchmark, config, scale, use_cache, None, None))
+            for key, benchmark, config in pending]
+        outcomes = _execute_jobs(jobs_list, jobs, use_cache)
+        for key, _, _ in pending:
+            stats = outcomes[key]
+            for config_name, bench in placements[key]:
+                results[config_name][bench] = stats
+        return results
+
+    # ------------------------------------------------------------------
+    # sharded path: expand each pending benchmark x config into slices
+    # ------------------------------------------------------------------
+    disk = _disk_cache() if use_cache else None
+    plans: Dict[str, sharding.ShardPlan] = {}
+    for _, benchmark, _ in pending:
+        if benchmark not in plans:
+            plans[benchmark] = sharding.build_plan(
+                benchmark, scale, shards, warmup_fraction, cache=disk)
+
+    # slice cache key -> (merged key, slice index); slice results by run.
+    slice_of: Dict[str, Tuple[str, int]] = {}
+    gathered: Dict[str, Dict[int, SimStats]] = {key: {}
+                                                for key, _, _ in pending}
+    jobs_list = []
+    for key, benchmark, config in pending:
+        plan = plans[benchmark]
+        for spec in plan.slices:
+            skey = sharding.slice_key(benchmark, scale, config, shards,
+                                      warmup_fraction, spec.index)
+            slice_of[skey] = (key, spec.index)
+            stats = _cache_lookup(skey) if use_cache else None
+            if stats is None:
+                jobs_list.append(
+                    (spec.work,
+                     (skey, benchmark, config, scale, use_cache, spec,
+                      plan.checkpoint_for(spec))))
+            else:
+                gathered[key][spec.index] = stats
+
+    if jobs_list:
+        simulated_before = telemetry.simulations
+        outcomes = _execute_jobs(jobs_list, jobs, use_cache)
+        telemetry.slices_simulated += telemetry.simulations - simulated_before
+        for skey, stats in outcomes.items():
+            key, index = slice_of[skey]
+            gathered[key][index] = stats
+
+    for key, benchmark, config in pending:
+        parts = [stats for _, stats in sorted(gathered[key].items())]
+        merged = sharding.merge_slices(parts)
+        if use_cache:
+            _cache_store(key, merged)
+        for config_name, bench in placements[key]:
+            results[config_name][bench] = merged
     return results

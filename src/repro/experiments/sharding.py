@@ -1,0 +1,301 @@
+"""Checkpointed slice sharding: one benchmark simulated on many cores.
+
+``run_suite`` fans out across (benchmark, config) jobs, but each simulation
+is a single serial cycle loop, so the wall-clock time of a sweep is pinned
+to its longest benchmark.  This module cuts that tail latency by splitting
+one simulation into ``shards`` independently schedulable *slices*:
+
+1. the functional emulator fast-forwards the program once and captures an
+   architectural checkpoint (registers + sparse memory + PC + retired
+   instruction count) at every slice start;
+2. each slice resumes the timing core from its checkpoint, runs a
+   stats-discarded detailed *warm-up* (default: the full previous slice, so
+   caches, branch predictor and integration table are hot when counting
+   starts), then counts exactly ``budget`` retirements;
+3. the per-slice :class:`~repro.core.stats.SimStats` recombine losslessly
+   with :meth:`SimStats.merge` -- retired-instruction counts tile the
+   program exactly, so all rate metrics keep their true denominators.
+
+Checkpoints depend only on (benchmark, scale, slice starts) -- never on the
+machine configuration -- so one checkpoint set is built per benchmark and
+reused by *every* config in a sweep; it is content-addressed on disk next to
+the result cache.
+
+Accuracy: ``shards=1`` is the unsharded engine (bit-identical stats).  With
+the default warm-up (one full slice), ``shards=2`` is exact -- slice 1's
+warm-up replays slice 0 from reset, so the counted region starts from the
+true machine state and every architectural counter and the cycle count
+match the whole run (only the per-cycle RS-occupancy accumulator can drift
+by a few samples at the seam).  For higher shard counts each slice only
+warms over its immediate predecessor, leaving a small cold-start delta in
+cycle-accurate metrics (IPC), reported by :func:`cold_start_report`;
+retired-instruction counters (integration counts, retired mixes and every
+rate denominator) tile exactly at *any* shard count.  Memory-bound,
+history-sensitive workloads (``mcf``) show the largest IPC deltas.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core import MachineConfig, SimStats, simulate
+from repro.experiments.cache import PayloadCache, code_version
+from repro.functional.emulator import Checkpoint, collect_checkpoints
+from repro.isa.program import Program
+from repro.workloads import build_workload
+
+#: Hard ceiling on the shard count (more slices than this is never useful
+#: for the synthetic workloads and would drown the run in warm-up work).
+MAX_SHARDS = 64
+
+#: Default warm-up, as a fraction of the slice length.  1.0 = each slice
+#: re-executes its full predecessor in detail before counting.
+DEFAULT_WARMUP_FRACTION = 1.0
+
+
+# ----------------------------------------------------------------------
+# slice plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SliceSpec:
+    """One schedulable slice of a benchmark's dynamic instruction stream."""
+
+    index: int          # slice number, 0-based
+    start: int          # checkpoint position (dynamic instruction count)
+    boundary: int       # first *counted* instruction (start + warm-up)
+    budget: int         # counted retirements, exact (>= 1 for real slices)
+
+    @property
+    def warmup(self) -> int:
+        return self.boundary - self.start
+
+    @property
+    def work(self) -> int:
+        """Detailed-simulation work in instructions (warm-up + counted)."""
+        return self.warmup + self.budget
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Everything needed to simulate one benchmark as independent slices."""
+
+    benchmark: str
+    scale: float
+    shards: int
+    warmup_fraction: float
+    total_insts: int
+    slices: Sequence[SliceSpec]
+    checkpoints: Dict[int, Checkpoint]   # keyed by SliceSpec.start
+
+    def checkpoint_for(self, spec: SliceSpec) -> Checkpoint:
+        return self.checkpoints[spec.start]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "scale": self.scale,
+            "shards": self.shards,
+            "warmup_fraction": self.warmup_fraction,
+            "total_insts": self.total_insts,
+            "slices": [[s.index, s.start, s.boundary, s.budget]
+                       for s in self.slices],
+            "checkpoints": {str(start): cp.to_dict()
+                            for start, cp in self.checkpoints.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardPlan":
+        return cls(
+            benchmark=data["benchmark"],
+            scale=float(data["scale"]),
+            shards=int(data["shards"]),
+            warmup_fraction=float(data["warmup_fraction"]),
+            total_insts=int(data["total_insts"]),
+            slices=tuple(SliceSpec(index=i, start=s, boundary=b, budget=n)
+                         for i, s, b, n in data["slices"]),
+            checkpoints={int(start): Checkpoint.from_dict(cp)
+                         for start, cp in data["checkpoints"].items()},
+        )
+
+
+def plan_boundaries(total: int, shards: int,
+                    warmup_fraction: float) -> List[SliceSpec]:
+    """Partition ``total`` instructions into ``shards`` contiguous slices.
+
+    Counted regions tile ``[0, total)`` exactly; each slice after the first
+    starts ``round(slice_len * warmup_fraction)`` instructions early for its
+    stats-discarded warm-up.  Slices whose counted region would be empty are
+    dropped (a tiny program may yield fewer slices than requested).
+    """
+    if total <= 0:
+        return [SliceSpec(index=0, start=0, boundary=0, budget=0)]
+    shards = max(1, min(int(shards), total))
+    slice_len = -(-total // shards)          # ceil division
+    warmup = int(round(slice_len * warmup_fraction))
+    slices: List[SliceSpec] = []
+    for index in range(shards):
+        boundary = index * slice_len
+        if boundary >= total:
+            break
+        budget = min(slice_len, total - boundary)
+        start = max(0, boundary - warmup) if index else 0
+        slices.append(SliceSpec(index=index, start=start,
+                                boundary=boundary, budget=budget))
+    return slices
+
+
+# ----------------------------------------------------------------------
+# checkpoint cache (per benchmark x scale, shared across configs)
+# ----------------------------------------------------------------------
+_PLAN_MEMO: Dict[str, ShardPlan] = {}
+
+
+def plan_key(benchmark: str, scale: float, shards: int,
+             warmup_fraction: float) -> str:
+    """Content address of a checkpoint plan (config-independent)."""
+    material = "|".join((
+        "shard-plan", benchmark, repr(float(scale)), str(int(shards)),
+        repr(float(warmup_fraction)), code_version(),
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def build_plan(benchmark: str, scale: float, shards: int,
+               warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+               program: Optional[Program] = None,
+               cache: Optional[PayloadCache] = None) -> ShardPlan:
+    """Build (or recall) the checkpoint plan for one benchmark x scale.
+
+    The functional fast-forward runs at most twice (once to size the
+    program, once to capture checkpoints at the computed slice starts) and
+    the result is memoised in-process and content-addressed on disk, so a
+    sweep over many machine configurations pays for it once.  Plans are
+    built serially in the parent (the checkpoints must be in the parent
+    anyway to parameterise the slice jobs); at ~15x the speed of detailed
+    simulation and amortised across configs and warm runs, this has not
+    been worth parallelising.
+    """
+    key = plan_key(benchmark, scale, shards, warmup_fraction)
+    plan = _PLAN_MEMO.get(key)
+    if plan is not None:
+        return plan
+    if cache is not None:
+        payload = cache.load_payload(key)
+        if payload is not None:
+            try:
+                plan = ShardPlan.from_dict(payload)
+            except Exception:
+                plan = None
+            if plan is not None:
+                _PLAN_MEMO[key] = plan
+                return plan
+    if program is None:
+        program = build_workload(benchmark, scale=scale)
+    # Pass 1: exact dynamic length (needed to place the boundaries).
+    total, _ = collect_checkpoints(program, ())
+    slices = plan_boundaries(total, shards, warmup_fraction)
+    # Pass 2: capture the checkpoints at every distinct slice start.
+    starts = sorted({s.start for s in slices})
+    _, checkpoints = collect_checkpoints(program, starts)
+    plan = ShardPlan(
+        benchmark=benchmark, scale=scale, shards=shards,
+        warmup_fraction=warmup_fraction, total_insts=total,
+        slices=tuple(slices),
+        checkpoints={cp.insts: cp for cp in checkpoints},
+    )
+    _PLAN_MEMO[key] = plan
+    if cache is not None:
+        cache.store_payload(key, plan.to_dict())
+    return plan
+
+
+def clear_plan_memo() -> None:
+    """Drop the in-process plan memo (tests and cache management)."""
+    _PLAN_MEMO.clear()
+
+
+# ----------------------------------------------------------------------
+# slice simulation + recombination
+# ----------------------------------------------------------------------
+def slice_key(benchmark: str, scale: float, config: MachineConfig,
+              shards: int, warmup_fraction: float, index: int) -> str:
+    """Content address of one slice's SimStats."""
+    material = "|".join((
+        "slice", benchmark, repr(float(scale)), config.fingerprint(),
+        str(int(shards)), repr(float(warmup_fraction)), str(int(index)),
+        code_version(),
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def merged_key(benchmark: str, scale: float, config: MachineConfig,
+               shards: int, warmup_fraction: float) -> str:
+    """Content address of the merged sharded result.
+
+    Deliberately distinct from :func:`repro.experiments.cache.result_key`:
+    a sharded result is an approximation of the whole run for cycle-accurate
+    metrics, so it must never be returned for an unsharded request.
+    """
+    material = "|".join((
+        "merged", benchmark, repr(float(scale)), config.fingerprint(),
+        str(int(shards)), repr(float(warmup_fraction)), code_version(),
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def simulate_slice(program: Program, config: MachineConfig,
+                   spec: SliceSpec, checkpoint: Checkpoint,
+                   name: Optional[str] = None) -> SimStats:
+    """Simulate one slice: resume, warm up (stats discarded), count.
+
+    The budget is exact (the commit stage stops on the boundary), so the
+    counted regions of consecutive slices tile the program without overlap.
+    """
+    initial_state = checkpoint.state() if spec.start else None
+    return simulate(program, config, name=name or program.name,
+                    initial_state=initial_state,
+                    max_instructions=spec.budget,
+                    warmup_instructions=spec.warmup)
+
+
+def merge_slices(parts: Sequence[SimStats]) -> SimStats:
+    """Recombine per-slice stats (in any order) into one result."""
+    return SimStats.merge_all(parts)
+
+
+def run_sharded(benchmark: str, config: MachineConfig, scale: float,
+                shards: int,
+                warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                cache: Optional[PayloadCache] = None) -> SimStats:
+    """Serial convenience: plan, simulate every slice, merge.
+
+    The parallel path lives in :func:`repro.experiments.runner.run_suite`,
+    which schedules slices of *different* benchmarks and configs together
+    on one pool.
+    """
+    program = build_workload(benchmark, scale=scale)
+    plan = build_plan(benchmark, scale, shards, warmup_fraction,
+                      program=program, cache=cache)
+    parts = [simulate_slice(program, config, spec, plan.checkpoint_for(spec),
+                            name=benchmark)
+             for spec in plan.slices]
+    return merge_slices(parts)
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def cold_start_report(whole: SimStats, merged: SimStats) -> Dict[str, float]:
+    """Quantify the sharding approximation against an unsharded run."""
+    ipc_delta = (abs(merged.ipc / whole.ipc - 1.0) if whole.ipc else 0.0)
+    cycle_delta = ((merged.cycles - whole.cycles) / whole.cycles
+                   if whole.cycles else 0.0)
+    return {
+        "ipc_unsharded": round(whole.ipc, 4),
+        "ipc_merged": round(merged.ipc, 4),
+        "ipc_delta_fraction": round(ipc_delta, 4),
+        "cycle_inflation_fraction": round(cycle_delta, 4),
+        "retired_match": merged.retired == whole.retired,
+    }

@@ -15,13 +15,22 @@ executor and a run-to-completion emulator.  It is used in three roles:
 from repro.functional.memory import SparseMemory
 from repro.functional.state import ArchState
 from repro.functional.executor import StepResult, execute_step
-from repro.functional.emulator import Emulator, EmulationResult
+from repro.functional.emulator import (
+    Checkpoint,
+    Emulator,
+    EmulationResult,
+    collect_checkpoints,
+    fast_forward,
+)
 
 __all__ = [
     "SparseMemory",
     "ArchState",
     "StepResult",
     "execute_step",
+    "Checkpoint",
     "Emulator",
     "EmulationResult",
+    "collect_checkpoints",
+    "fast_forward",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.functional.executor import StepResult, execute_step
 from repro.functional.memory import SparseMemory
@@ -112,3 +112,85 @@ def run_program(program: Program,
                 max_instructions: int = 2_000_000) -> EmulationResult:
     """Convenience wrapper: functionally execute ``program`` from scratch."""
     return Emulator(program).run(max_instructions=max_instructions)
+
+
+# ----------------------------------------------------------------------
+# architectural checkpoints (the substrate of sharded simulation)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Checkpoint:
+    """Precise architectural state after ``insts`` dynamic instructions.
+
+    The timing core retires exactly the functional instruction stream (DIVA
+    re-executes every retiring instruction on architectural state), so a
+    functional checkpoint at instruction *k* is also the timing core's
+    architectural state after *k* retirements -- which is what makes
+    checkpointed slices recombine losslessly at the retired-instruction
+    level.
+    """
+
+    insts: int
+    snapshot: Dict[str, object]
+
+    def state(self) -> ArchState:
+        """Materialise a fresh :class:`ArchState` (safe to mutate)."""
+        return ArchState.from_snapshot(self.snapshot)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"insts": self.insts, "snapshot": self.snapshot}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Checkpoint":
+        return cls(insts=int(data["insts"]), snapshot=data["snapshot"])
+
+
+def fast_forward(program: Program, count: int,
+                 max_instructions: int = 2_000_000) -> ArchState:
+    """Architecturally execute exactly ``count`` instructions.
+
+    Returns the resulting state (which may already be halted if the program
+    exits earlier).  Raises :class:`EmulationLimitExceeded` if ``count``
+    exceeds ``max_instructions``.
+    """
+    if count > max_instructions:
+        raise EmulationLimitExceeded(
+            f"{program.name}: fast-forward of {count} exceeds the "
+            f"{max_instructions}-instruction budget")
+    emulator = Emulator(program)
+    executed = 0
+    while executed < count:
+        if emulator.step() is None:
+            break
+        executed += 1
+    return emulator.state
+
+
+def collect_checkpoints(program: Program, boundaries: Iterable[int],
+                        max_instructions: int = 2_000_000
+                        ) -> Tuple[int, List[Checkpoint]]:
+    """Run ``program`` to completion, checkpointing at instruction counts.
+
+    ``boundaries`` are dynamic-instruction indices (sorted ascending, 0
+    allowed); a checkpoint is captured when exactly that many instructions
+    have executed.  Boundaries at or past the program's end are skipped --
+    the corresponding slice would be empty.  Returns ``(total_instructions,
+    checkpoints)``.
+    """
+    wanted = sorted(set(int(b) for b in boundaries))
+    emulator = Emulator(program)
+    checkpoints: List[Checkpoint] = []
+    executed = 0
+    next_idx = 0
+    while True:
+        while next_idx < len(wanted) and wanted[next_idx] == executed:
+            checkpoints.append(Checkpoint(
+                insts=executed, snapshot=emulator.state.to_snapshot()))
+            next_idx += 1
+        if emulator.step() is None:
+            break
+        executed += 1
+        if executed > max_instructions:
+            raise EmulationLimitExceeded(
+                f"{program.name}: did not halt within "
+                f"{max_instructions} instructions while checkpointing")
+    return executed, checkpoints

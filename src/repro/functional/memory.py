@@ -53,3 +53,17 @@ class SparseMemory:
         mem = SparseMemory()
         mem._words = dict(self._words)
         return mem
+
+    # ------------------------------------------------------------------
+    # checkpoint serialization (JSON-safe: addresses become string keys)
+    # ------------------------------------------------------------------
+    def to_snapshot(self) -> Dict[str, int]:
+        """JSON-ready rendering of every written word."""
+        return {str(addr): value for addr, value in self._words.items()}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, int]) -> "SparseMemory":
+        """Rebuild a memory image from :meth:`to_snapshot` output."""
+        mem = cls()
+        mem._words = {int(addr): value for addr, value in snapshot.items()}
+        return mem

@@ -61,6 +61,38 @@ class ArchState:
         clone.inst_count = self.inst_count
         return clone
 
+    # ------------------------------------------------------------------
+    # checkpoint serialization
+    # ------------------------------------------------------------------
+    def to_snapshot(self) -> Dict[str, object]:
+        """JSON-ready rendering of the complete architectural state.
+
+        Register values are kept as-is (ints and floats survive a JSON
+        round-trip unchanged for this ISA); memory addresses become string
+        keys.  The inverse is :meth:`from_snapshot`.
+        """
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "halted": self.halted,
+            "exit_code": self.exit_code,
+            "output": list(self.output),
+            "inst_count": self.inst_count,
+            "memory": self.memory.to_snapshot(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, object]) -> "ArchState":
+        """Rebuild precise architectural state from :meth:`to_snapshot`."""
+        state = cls(memory=SparseMemory.from_snapshot(snapshot["memory"]),
+                    pc=int(snapshot["pc"]))
+        state.regs = list(snapshot["regs"])
+        state.halted = bool(snapshot["halted"])
+        state.exit_code = snapshot["exit_code"]
+        state.output = list(snapshot["output"])
+        state.inst_count = int(snapshot["inst_count"])
+        return state
+
     def registers_snapshot(self) -> Dict[int, object]:
         """Non-zero architectural register values, for compact comparisons."""
         return {i: v for i, v in enumerate(self.regs)

@@ -65,6 +65,31 @@ class WorkloadSpec:
         iters = max(1, int(round(self.outer_iters * scale)))
         return replace(self, outer_iters=iters)
 
+    def estimate_dynamic_insts(self) -> int:
+        """Rough dynamic instruction count, for longest-first scheduling.
+
+        Models the generator's structure: the main loop invokes every
+        top-level function once per outer iteration, and each invocation
+        fans out ``calls_per_body`` calls per level down the call graph.
+        Only the *ordering* of benchmarks matters to the scheduler, so the
+        per-construct costs are coarse.
+        """
+        body = (self.const_inits * 2
+                + self.alu_ops * 2 + 2
+                + self.loads * 3 + self.stores * 3
+                + self.fp_ops * 2
+                + self.inner_loop_iters * (self.inner_loop_body * 2 + 4)
+                + self.pointer_chase * 3
+                + self.noisy_branches * 5
+                + 8 + 4 * (self.callee_saves + self.caller_saves)
+                + 3 * self.calls_per_body)
+        top_level = max(1, -(-self.num_funcs // max(1, self.call_depth)))
+        invocations = sum(self.calls_per_body ** level
+                          for level in range(self.call_depth))
+        init_loop = 8 * GLOBAL_WORDS
+        per_iter = top_level * invocations * body + 3 * top_level + 2
+        return init_loop + self.outer_iters * per_iter
+
 
 class _FunctionPlan:
     """Static plan for one generated function (level + callees)."""
@@ -461,3 +486,20 @@ def build_workload(name: str, scale: float = 1.0) -> Program:
     if scale != 1.0:
         spec = spec.scaled(scale)
     return _Generator(spec).generate()
+
+
+def estimate_dynamic_insts(name: str, scale: float = 1.0) -> int:
+    """Estimated dynamic length of ``name`` at ``scale``.
+
+    Used by the experiment runner to schedule long benchmarks first so that
+    short jobs backfill around the stragglers; precision beyond ordering is
+    not required (exact totals come from the sharding profile when one has
+    been built).
+    """
+    try:
+        spec = SPEC_WORKLOADS[name]
+    except KeyError:
+        return 0
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    return spec.estimate_dynamic_insts()
