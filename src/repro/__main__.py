@@ -4,13 +4,17 @@ Subcommands::
 
     repro run      -- simulate benchmarks under the paper's configurations
     repro figures  -- regenerate the paper's figure/table reports
+    repro variants -- list the registered machine variants
     repro cache    -- inspect or clear the on-disk result cache
 
 ``--jobs`` fans simulations out over a process pool; ``--shards`` splits
 every benchmark into checkpointed slices so even one long benchmark uses
 many cores (1 = bit-exact unsharded engine); ``--scale`` shrinks or grows
 the synthetic workloads; ``--benchmarks`` picks the benchmark set
-(``smoke``/``fast``/``all`` or an explicit comma-separated list).
+(``smoke``/``fast``/``all`` or an explicit comma-separated list);
+``--variant`` (or ``REPRO_VARIANT``) retargets the sweep at a registered
+machine variant (see ``repro variants``); ``figures --plot-dir DIR``
+additionally renders PNG panels (requires matplotlib).
 """
 
 from __future__ import annotations
@@ -57,6 +61,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="checkpointed slices per benchmark; 1 = "
                              "bit-exact unsharded engine (default: "
                              "REPRO_SHARDS or 1)")
+    parser.add_argument("--variant", default=None, metavar="NAME",
+                        help="machine variant to simulate; see `repro "
+                             "variants` (default: REPRO_VARIANT or "
+                             "baseline; ignored by --figures scenarios, "
+                             "which sweeps every variant)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the result caches entirely")
 
@@ -65,6 +74,19 @@ def _check_shards(args: argparse.Namespace) -> None:
     if args.shards is not None and args.shards < 1:
         raise SystemExit(f"invalid --shards {args.shards}: must be >= 1 "
                          f"(1 = unsharded)")
+
+
+def _resolve_variant(args: argparse.Namespace):
+    """Explicit ``--variant`` > ``REPRO_VARIANT`` > None (leave configs).
+
+    Both paths reject unregistered names with a one-line error listing the
+    registry.
+    """
+    from repro.experiments.runner import default_variant, validate_variant
+
+    if args.variant is not None:
+        return validate_variant(args.variant)
+    return default_variant()
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -90,9 +112,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     suite_configs = {name: machine.with_integration(named[name])
                      for name in wanted}
 
+    variant = _resolve_variant(args)
+    if variant is not None:
+        print(f"variant: {variant}")
     results = runner.run_suite(benchmarks, suite_configs, scale=args.scale,
                                jobs=args.jobs, shards=args.shards,
-                               use_cache=not args.no_cache)
+                               use_cache=not args.no_cache, variant=variant)
     header = (f"{'benchmark':<12} {'config':<8} {'cycles':>9} {'retired':>9} "
               f"{'IPC':>7} {'int.rate':>9} {'misint/M':>9}")
     print(header)
@@ -115,29 +140,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     import os
 
-    from repro.experiments import ablations, diagnostics
+    from repro.experiments import ablations, diagnostics, scenario_matrix
     from repro.experiments import figure4, figure5, figure6, figure7
     from repro.experiments import runner
 
     _check_shards(args)
+    if args.plot_dir is not None:
+        # Fail before simulating anything, not after.
+        from repro.analysis import plots
+
+        if not plots.matplotlib_available():
+            raise plots.MissingDependencyError("matplotlib", "--plot-dir")
     if args.shards is not None:
         # The figure modules call run_suite without a shards argument, so
         # it resolves through REPRO_SHARDS; route the CLI flag there.
         os.environ["REPRO_SHARDS"] = str(args.shards)
     benchmarks = _parse_benchmarks(args.benchmarks)
+    variant = _resolve_variant(args)
+    common = dict(benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)
+    # name -> (run, report); scenario_matrix deliberately ignores --variant:
+    # the matrix sweeps every registered variant by construction.
     available = {
-        "4": lambda: figure4.report(figure4.run(
-            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
-        "5": lambda: figure5.report(figure5.run(
-            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
-        "6": lambda: figure6.report(figure6.run(
-            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
-        "7": lambda: figure7.report(figure7.run(
-            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
-        "diagnostics": lambda: diagnostics.report(diagnostics.run(
-            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
-        "ablations": lambda: ablations.report(ablations.run(
-            benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)),
+        "4": (lambda: figure4.run(variant=variant, **common),
+              figure4.report),
+        "5": (lambda: figure5.run(variant=variant, **common),
+              figure5.report),
+        "6": (lambda: figure6.run(variant=variant, **common),
+              figure6.report),
+        "7": (lambda: figure7.run(variant=variant, **common),
+              figure7.report),
+        "diagnostics": (lambda: diagnostics.run(variant=variant, **common),
+                        diagnostics.report),
+        "ablations": (lambda: ablations.run(variant=variant, **common),
+                      ablations.report),
+        "scenarios": (lambda: scenario_matrix.run(**common),
+                      scenario_matrix.report),
     }
     wanted = args.figures.split(",") if args.figures else ["4", "5", "6", "7"]
     unknown = [f for f in wanted if f not in available]
@@ -145,10 +182,32 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown figures: {', '.join(unknown)} "
                          f"(available: {', '.join(available)})")
     for name in wanted:
-        print(available[name]())
+        run_fn, report_fn = available[name]
+        result = run_fn()
+        print(report_fn(result))
         print()
+        if args.plot_dir is not None:
+            from repro.analysis import plots
+
+            path = plots.render(name, result, args.plot_dir)
+            if path is not None:
+                print(f"wrote {path}")
+                print()
     print(f"{runner.telemetry.simulations} simulations, "
           f"{runner.telemetry.disk_hits} disk hits")
+    return 0
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    from repro.variants import describe_variants
+
+    listing = describe_variants()
+    width = max(len(name) for name in listing)
+    for name, info in listing.items():
+        print(f"{name:<{width}}  {info['description']}")
+        overrides = info["overrides"]
+        slots = ", ".join(overrides) if overrides else "(none: the baseline)"
+        print(f"{'':<{width}}  overrides: {slots}")
     return 0
 
 
@@ -188,9 +247,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     _add_common(p_fig)
     p_fig.add_argument("--figures", default=None, metavar="LIST",
-                       help="comma-separated: 4,5,6,7,diagnostics,ablations "
-                            "(default: 4,5,6,7)")
+                       help="comma-separated: 4,5,6,7,diagnostics,ablations,"
+                            "scenarios (default: 4,5,6,7)")
+    p_fig.add_argument("--plot-dir", default=None, metavar="DIR",
+                       help="also render PNG panels into DIR (requires "
+                            "matplotlib)")
     p_fig.set_defaults(func=_cmd_figures)
+
+    p_var = sub.add_parser("variants",
+                           help="list the registered machine variants")
+    p_var.set_defaults(func=_cmd_variants)
 
     p_cache = sub.add_parser("cache", help="manage the on-disk result cache")
     p_cache.add_argument("cache_action", choices=("info", "clear"))

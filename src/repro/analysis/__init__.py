@@ -1,4 +1,5 @@
-"""Result analysis helpers: speedups, means, and the Figure 5 breakdowns."""
+"""Result analysis helpers: speedups, means, the Figure 5 breakdowns, and
+(matplotlib-gated) figure plotting in :mod:`repro.analysis.plots`."""
 
 from repro.analysis.metrics import (
     speedup,

@@ -13,6 +13,7 @@ a :class:`SimStats` object carrying every metric the paper's evaluation
 reports.
 """
 
+from repro.core.builder import Machine, MachineBuilder
 from repro.core.config import MachineConfig
 from repro.core.stats import SimStats
 from repro.core.rob import ReorderBuffer
@@ -22,6 +23,8 @@ from repro.core.diva import DivaChecker, DivaFault
 from repro.core.pipeline import Processor, simulate
 
 __all__ = [
+    "Machine",
+    "MachineBuilder",
     "MachineConfig",
     "SimStats",
     "ReorderBuffer",

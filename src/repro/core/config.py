@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import ClassVar, FrozenSet, Optional
 
 from repro.frontend.branch_predictor import BranchPredictorConfig
 from repro.integration.config import IntegrationConfig
@@ -73,6 +73,18 @@ class MachineConfig(SerializableConfig):
     max_cycles: int = 5_000_000
     deadlock_cycles: int = 50_000
 
+    # Machine variant: names a registered :class:`~repro.core.builder.
+    # MachineBuilder` subclass (see :mod:`repro.variants`) that decides how
+    # the substrates and stages are assembled.  The field participates in
+    # ``fingerprint()`` -- two variants of the same structural configuration
+    # can never share a cache entry -- but is elided from the canonical JSON
+    # while it holds the default, so every pre-variant cache key (always the
+    # baseline machine) still resolves.
+    variant: str = "baseline"
+
+    #: Fields omitted from canonical serialization at their default value.
+    _ELIDE_DEFAULT: ClassVar[FrozenSet[str]] = frozenset({"variant"})
+
     # ------------------------------------------------------------------
     @property
     def frontend_depth(self) -> int:
@@ -95,6 +107,15 @@ class MachineConfig(SerializableConfig):
     def with_integration(self, integration: IntegrationConfig
                          ) -> "MachineConfig":
         return replace(self, integration=integration)
+
+    def with_variant(self, variant: str) -> "MachineConfig":
+        """The same structural configuration on another machine variant.
+
+        The name is validated when the machine is built (or threaded through
+        the experiment engine), not here, so the config layer stays free of
+        a dependency on the variant registry.
+        """
+        return replace(self, variant=variant)
 
     # ------------------------------------------------------------------
     # reduced-complexity presets for Figure 7

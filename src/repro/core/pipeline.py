@@ -1,10 +1,13 @@
 r"""The cycle-level out-of-order processor engine.
 
-:class:`Processor` is a thin engine: it instantiates every substrate (branch
-prediction, renaming + integration, the reservation-station scheduler, the
-load/store queue, the memory hierarchy and the DIVA checker), wires them
-into the four stage components of :mod:`repro.core.stages`, and advances the
-clock.  All per-stage behaviour lives in the stage classes.
+:class:`Processor` is a construction-free engine: a
+:class:`~repro.core.builder.MachineBuilder` (resolved from the ``variant``
+field of the :class:`~repro.core.config.MachineConfig` via the
+:mod:`repro.variants` registry, or passed explicitly) assembles the
+substrates and wires them into the four stage components of
+:mod:`repro.core.stages`; the engine only advances the clock and enforces
+the run limits.  All per-stage behaviour lives in the stage classes; all
+per-slot construction lives in the builder.
 
 Pipeline organisation (13 stages, paper Section 3.1)::
 
@@ -25,30 +28,13 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.core.builder import MachineBuilder
 from repro.core.config import MachineConfig
-from repro.core.diva import DivaChecker, SimulationError
-from repro.core.lsq import CollisionHistoryTable, LoadStoreQueue
-from repro.core.rob import ReorderBuffer
-from repro.core.scheduler import ReservationStations
-from repro.core.stages import (
-    CommitDiva,
-    FrontEnd,
-    IssueExecute,
-    PipelineState,
-    RecoveryController,
-    RenameIntegrate,
-    Stage,
-)
+from repro.core.diva import SimulationError
+from repro.core.stages import Stage
 from repro.core.stats import SimStats
-from repro.frontend.branch_predictor import BranchPredictor
-from repro.functional.memory import SparseMemory
 from repro.functional.state import ArchState
-from repro.integration.logic import IntegrationLogic
 from repro.isa.program import Program
-from repro.memsys.hierarchy import MemoryHierarchy
-from repro.rename.map_table import MapTable
-from repro.rename.physical import PhysicalRegisterFile
-from repro.rename.renamer import Renamer
 
 
 class Processor:
@@ -57,66 +43,27 @@ class Processor:
     def __init__(self, program: Program,
                  config: Optional[MachineConfig] = None,
                  name: Optional[str] = None,
-                 initial_state: Optional[ArchState] = None):
+                 initial_state: Optional[ArchState] = None,
+                 builder: Optional[MachineBuilder] = None):
         self.program = program
         self.config = config or MachineConfig()
-        icfg = self.config.integration
+        if builder is None:
+            # Resolved here (not at import) so repro.variants can import the
+            # builder/stage modules without a cycle.
+            from repro.variants import get_builder
+            builder = get_builder(self.config.variant)()
+        self.builder = builder
 
-        # Architectural (committed) state -- owned by the DIVA checker.
-        # ``initial_state`` resumes from a functional checkpoint (the
-        # retirement stream is the functional stream, so a checkpoint after k
-        # instructions is exactly the machine state after k retirements); it
-        # is copied so the caller's checkpoint stays reusable.
-        if initial_state is not None:
-            arch = initial_state.copy()
-        else:
-            arch = ArchState(memory=SparseMemory(program.data),
-                             pc=program.entry)
-        diva = DivaChecker(arch)
-
-        # Substrates.
-        mem = MemoryHierarchy(self.config.memsys)
-        predictor = BranchPredictor(self.config.branch_predictor)
-
-        # Renaming + integration.
-        prf = PhysicalRegisterFile(icfg.num_physical_regs,
-                                   icfg.generation_bits,
-                                   icfg.refcount_bits)
-        map_table = MapTable()
-        renamer = Renamer(map_table, prf)
-        renamer.initialize_from_values(arch.regs)
-        integration = IntegrationLogic(icfg, prf)
-
-        # Out-of-order engine.  The scheduler is bound to the PRF so operand
-        # readiness is tracked by wakeup events instead of per-cycle scans.
-        rob = ReorderBuffer(self.config.rob_size)
-        rs = ReservationStations(self.config.rs_entries,
-                                 self.config.ports,
-                                 self.config.combined_ldst_port,
-                                 prf=prf)
-        prf.on_ready = rs.wakeup
-        lsq = LoadStoreQueue(self.config.lsq_size)
-        cht = CollisionHistoryTable(self.config.collision_history_entries)
-
-        stats = SimStats(benchmark=name or program.name,
-                         config_name=icfg.describe())
-
-        # Shared datapath + stage components.
-        self.state = PipelineState(
-            program=program, config=self.config, arch=arch, diva=diva,
-            mem=mem, predictor=predictor, prf=prf, map_table=map_table,
-            renamer=renamer, integration=integration, rob=rob, rs=rs,
-            lsq=lsq, cht=cht, stats=stats)
-        self.front_end = FrontEnd(self.state)
-        self.recovery = RecoveryController(self.state, self.front_end)
-        self.rename_integrate = RenameIntegrate(self.state, self.front_end,
-                                                self.recovery)
-        self.issue_execute = IssueExecute(self.state, self.recovery)
-        self.commit_diva = CommitDiva(self.state, self.recovery)
+        machine = builder.build(program, self.config, name=name,
+                                initial_state=initial_state)
+        self.state = machine.state
+        self.front_end = machine.front_end
+        self.recovery = machine.recovery
+        self.rename_integrate = machine.rename_integrate
+        self.issue_execute = machine.issue_execute
+        self.commit_diva = machine.commit_diva
         #: Program order of the stage components (front of the pipe first).
-        self.stages: Tuple[Stage, ...] = (
-            self.front_end, self.rename_integrate, self.issue_execute,
-            self.commit_diva)
+        self.stages: Tuple[Stage, ...] = machine.stages
 
         # Counter baselines, advanced past the stats-discarded warm-up phase
         # of a sliced run (zero for ordinary whole-program runs).
@@ -125,19 +72,20 @@ class Processor:
         self._cht_trainings_base = 0
 
         # Convenience aliases kept for tests, tools and documentation.
-        self.arch = arch
-        self.diva = diva
-        self.mem = mem
-        self.predictor = predictor
-        self.prf = prf
-        self.map_table = map_table
-        self.renamer = renamer
-        self.integration = integration
-        self.rob = rob
-        self.rs = rs
-        self.lsq = lsq
-        self.cht = cht
-        self.stats = stats
+        state = self.state
+        self.arch = state.arch
+        self.diva = state.diva
+        self.mem = state.mem
+        self.predictor = state.predictor
+        self.prf = state.prf
+        self.map_table = state.map_table
+        self.renamer = state.renamer
+        self.integration = state.integration
+        self.rob = state.rob
+        self.rs = state.rs
+        self.lsq = state.lsq
+        self.cht = state.cht
+        self.stats = state.stats
 
     # ------------------------------------------------------------------
     @property
@@ -209,7 +157,8 @@ class Processor:
             # Reset the counters; microarchitectural state stays warm.
             warm = state.stats
             fresh = SimStats(benchmark=warm.benchmark,
-                             config_name=warm.config_name)
+                             config_name=warm.config_name,
+                             variant=warm.variant)
             state.stats = fresh
             self.stats = fresh
             self._cycle_base = state.cycle
@@ -230,7 +179,8 @@ def simulate(program: Program, config: Optional[MachineConfig] = None,
              name: Optional[str] = None,
              max_instructions: Optional[int] = None,
              initial_state: Optional[ArchState] = None,
-             warmup_instructions: int = 0) -> SimStats:
+             warmup_instructions: int = 0,
+             builder: Optional[MachineBuilder] = None) -> SimStats:
     """Convenience wrapper: build a :class:`Processor` and run it.
 
     ``initial_state`` starts the machine from an architectural checkpoint
@@ -238,9 +188,10 @@ def simulate(program: Program, config: Optional[MachineConfig] = None,
     ``warmup_instructions`` retires a stats-discarded detailed warm-up
     first; ``max_instructions`` then stops the run after exactly that many
     counted retirements.  Together they simulate one slice of a sharded
-    run.
+    run.  ``builder`` overrides the machine variant resolved from
+    ``config.variant``.
     """
     processor = Processor(program, config=config, name=name,
-                          initial_state=initial_state)
+                          initial_state=initial_state, builder=builder)
     return processor.run(max_instructions=max_instructions,
                          warmup_instructions=warmup_instructions)

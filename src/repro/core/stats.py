@@ -48,6 +48,10 @@ class SimStats:
 
     benchmark: str = ""
     config_name: str = ""
+    #: Machine variant the run was built on (see :mod:`repro.variants`).
+    #: Identification only -- merged like ``benchmark`` (first non-empty) and
+    #: absent from pre-variant cache entries (deserializes to "").
+    variant: str = ""
 
     # Global progress.
     cycles: int = 0

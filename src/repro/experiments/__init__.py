@@ -13,6 +13,9 @@
 * :mod:`repro.experiments.ablations`  -- extra design-choice ablations called
   out in DESIGN.md (generation counters, reference-counter width, reverse
   entries, index schemes)
+* :mod:`repro.experiments.scenario_matrix` -- the (benchmark x machine
+  variant) sweep over the :mod:`repro.variants` registry, with per-variant
+  deltas against the baseline machine
 
 Each module exposes ``run(...)`` returning a structured result and
 ``report(result)`` returning the paper-style text table.
@@ -29,14 +32,17 @@ from repro.experiments.runner import (
     FAST_BENCHMARKS,
     SMOKE_BENCHMARKS,
     EnvVarError,
+    apply_variant,
     clear_cache,
     default_jobs,
     default_scale,
     default_shards,
+    default_variant,
     default_warmup_fraction,
     run_benchmark,
     run_suite,
     telemetry,
+    validate_variant,
 )
 
 __all__ = [
@@ -46,14 +52,17 @@ __all__ = [
     "SMOKE_BENCHMARKS",
     "PayloadCache",
     "ResultCache",
+    "apply_variant",
     "clear_cache",
     "code_version",
     "default_jobs",
     "default_scale",
     "default_shards",
+    "default_variant",
     "default_warmup_fraction",
     "result_key",
     "run_benchmark",
     "run_suite",
     "telemetry",
+    "validate_variant",
 ]

@@ -66,13 +66,15 @@ def run(benchmarks: Optional[Iterable[str]] = None,
         scale: Optional[float] = None,
         machine: Optional[MachineConfig] = None,
         configs: Optional[Dict[str, IntegrationConfig]] = None,
-        jobs: Optional[int] = None) -> AblationResult:
+        jobs: Optional[int] = None,
+        variant: Optional[str] = None) -> AblationResult:
     benchmarks = list(benchmarks or FAST_BENCHMARKS)
     machine = machine or MachineConfig()
     configs = configs or ablation_configs()
     suite_configs = {label: machine.with_integration(icfg)
                      for label, icfg in configs.items()}
-    results = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs)
+    results = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs,
+                        variant=variant)
     return AblationResult(benchmarks=benchmarks, results=results)
 
 

@@ -51,14 +51,15 @@ class DiagnosticsResult:
 def run(benchmarks: Optional[Iterable[str]] = None,
         scale: Optional[float] = None,
         machine: Optional[MachineConfig] = None,
-        jobs: Optional[int] = None) -> DiagnosticsResult:
+        jobs: Optional[int] = None,
+        variant: Optional[str] = None) -> DiagnosticsResult:
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     machine = machine or MachineConfig()
     suite = run_suite(
         benchmarks,
         {"none": machine.with_integration(IntegrationConfig.disabled()),
          "integration": machine.with_integration(IntegrationConfig.full())},
-        scale=scale, jobs=jobs)
+        scale=scale, jobs=jobs, variant=variant)
     return DiagnosticsResult(benchmarks=benchmarks, without=suite["none"],
                              with_integration=suite["integration"])
 

@@ -95,6 +95,7 @@ def run(benchmarks: Optional[Iterable[str]] = None,
         machine: Optional[MachineConfig] = None,
         lisp_modes: Iterable[LispMode] = (LispMode.REALISTIC, LispMode.ORACLE),
         jobs: Optional[int] = None,
+        variant: Optional[str] = None,
         ) -> Figure4Result:
     """Run the Figure 4 experiment matrix (one job per benchmark/config)."""
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
@@ -108,7 +109,8 @@ def run(benchmarks: Optional[Iterable[str]] = None,
         for lisp in lisp_modes:
             suite_configs[f"{extension}/{lisp.value}"] = machine.with_integration(
                 integration_config_for(extension, lisp))
-    suite = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs)
+    suite = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs,
+                      variant=variant)
 
     results: Dict[str, Dict[str, Dict[str, SimStats]]] = {
         extension: {lisp.value: suite[f"{extension}/{lisp.value}"]

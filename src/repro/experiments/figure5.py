@@ -50,12 +50,14 @@ class Figure5Result:
 def run(benchmarks: Optional[Iterable[str]] = None,
         scale: Optional[float] = None,
         machine: Optional[MachineConfig] = None,
-        jobs: Optional[int] = None) -> Figure5Result:
+        jobs: Optional[int] = None,
+        variant: Optional[str] = None) -> Figure5Result:
     """Run the breakdown experiment (full integration configuration)."""
     benchmarks = list(benchmarks or FAST_BENCHMARKS)
     machine = machine or MachineConfig()
     cfg = machine.with_integration(IntegrationConfig.full())
-    suite = run_suite(benchmarks, {"full": cfg}, scale=scale, jobs=jobs)
+    suite = run_suite(benchmarks, {"full": cfg}, scale=scale, jobs=jobs,
+                      variant=variant)
     return Figure5Result(benchmarks=benchmarks, stats=suite["full"])
 
 

@@ -62,7 +62,8 @@ def run(benchmarks: Optional[Iterable[str]] = None,
         lisp: LispMode = LispMode.REALISTIC,
         associativities: Iterable[int] = ASSOCIATIVITIES,
         sizes: Iterable[int] = SIZES,
-        jobs: Optional[int] = None) -> Figure6Result:
+        jobs: Optional[int] = None,
+        variant: Optional[str] = None) -> Figure6Result:
     benchmarks = list(benchmarks or FAST_BENCHMARKS)
     associativities = tuple(associativities)
     sizes = tuple(sizes)
@@ -81,7 +82,8 @@ def run(benchmarks: Optional[Iterable[str]] = None,
                                       lisp_mode=lisp,
                                       num_physical_regs=pregs)
         suite_configs[f"size/{size}"] = machine.with_integration(icfg)
-    suite = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs)
+    suite = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs,
+                      variant=variant)
 
     assoc_results = {_assoc_label(assoc): suite[f"assoc/{_assoc_label(assoc)}"]
                      for assoc in associativities}

@@ -92,7 +92,8 @@ def run(benchmarks: Optional[Iterable[str]] = None,
         machine: Optional[MachineConfig] = None,
         lisp: LispMode = LispMode.REALISTIC,
         variants: Iterable[str] = MACHINE_VARIANTS,
-        jobs: Optional[int] = None) -> Figure7Result:
+        jobs: Optional[int] = None,
+        variant: Optional[str] = None) -> Figure7Result:
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     variants = tuple(variants)
     machine = machine or MachineConfig()
@@ -105,7 +106,8 @@ def run(benchmarks: Optional[Iterable[str]] = None,
             machine_variant(machine, variant).with_integration(icfg)
         for variant in variants
         for int_name, icfg in integration_cfgs.items()}
-    suite = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs)
+    suite = run_suite(benchmarks, suite_configs, scale=scale, jobs=jobs,
+                      variant=variant)
 
     results: Dict[str, Dict[str, Dict[str, SimStats]]] = {
         variant: {int_name: suite[f"{variant}/{int_name}"]

@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.core import MachineConfig, SimStats, simulate
 from repro.experiments import sharding
 from repro.experiments.cache import ResultCache, disk_cache_enabled, result_key
+from repro.variants import get_builder, variant_names
 from repro.workloads import build_workload, workload_names
 from repro.workloads.spec_like import estimate_dynamic_insts
 
@@ -165,6 +166,45 @@ def default_warmup_fraction() -> float:
                      str(sharding.DEFAULT_WARMUP_FRACTION))
 
 
+def default_variant() -> Optional[str]:
+    """Machine variant from the ``REPRO_VARIANT`` env var (None = unset).
+
+    Resolved at the CLI layer (so ``repro run``/``repro figures`` honour the
+    environment) rather than inside :func:`run_suite`, which keeps sweeps
+    that mix variants deliberately -- the scenario matrix -- composable.  An
+    unregistered name raises :class:`EnvVarError` with the registered list.
+    """
+    raw = os.environ.get("REPRO_VARIANT", "").strip()
+    if not raw:
+        return None
+    names = variant_names()
+    if raw not in names:
+        raise EnvVarError("REPRO_VARIANT", raw,
+                          "a registered machine variant "
+                          f"({', '.join(names)})")
+    return raw
+
+
+def validate_variant(variant: str) -> str:
+    """Return ``variant`` if registered, else abort with a one-line error.
+
+    Validation happens eagerly so a typo fails before any simulation (or
+    pool spawn) happens, in the same one-line style as :class:`EnvVarError`.
+    """
+    get_builder(variant)   # raises UnknownVariantError on a bad name
+    return variant
+
+
+def apply_variant(configs: Mapping[str, MachineConfig],
+                  variant: Optional[str]) -> Mapping[str, MachineConfig]:
+    """Re-target every configuration at ``variant`` (None = leave as-is)."""
+    if variant is None:
+        return configs
+    validate_variant(variant)
+    return {name: config.with_variant(variant)
+            for name, config in configs.items()}
+
+
 def default_memcache_entries() -> int:
     """LRU capacity of the in-process result memo (``REPRO_MEMCACHE_MAX``).
 
@@ -272,15 +312,20 @@ def _cache_store(key: str, stats: SimStats, to_disk: bool = True) -> None:
 def run_benchmark(benchmark: str, config: MachineConfig,
                   scale: Optional[float] = None,
                   use_cache: bool = True,
-                  shards: Optional[int] = None) -> SimStats:
+                  shards: Optional[int] = None,
+                  variant: Optional[str] = None) -> SimStats:
     """Simulate one benchmark under one machine configuration.
 
     ``shards > 1`` runs the checkpointed-slice engine serially (the
     parallel slice scheduling lives in :func:`run_suite`); ``shards=1``
-    is the plain, bit-exact whole-program simulation.
+    is the plain, bit-exact whole-program simulation.  ``variant``
+    re-targets the configuration at a registered machine variant
+    (equivalent to ``config.with_variant(variant)``).
     """
     scale = default_scale() if scale is None else scale
     shards = default_shards(shards)
+    if variant is not None:
+        config = config.with_variant(validate_variant(variant))
     if shards > 1:
         results = run_suite([benchmark], {"_": config}, scale=scale,
                             jobs=1, use_cache=use_cache, shards=shards)
@@ -390,6 +435,7 @@ def run_suite(benchmarks: Iterable[str],
               use_cache: bool = True,
               shards: Optional[int] = None,
               warmup_fraction: Optional[float] = None,
+              variant: Optional[str] = None,
               ) -> Dict[str, Dict[str, SimStats]]:
     """Run every benchmark under every named configuration.
 
@@ -405,8 +451,23 @@ def run_suite(benchmarks: Iterable[str],
     content keys of their own, checkpoints are built once per benchmark and
     shared across every config, and the merged stats are cached under a
     shard-aware key so they can never shadow an unsharded result.
+
+    ``variant`` re-targets every configuration at one registered machine
+    variant (a convenience over calling ``with_variant`` on each); ``None``
+    leaves the per-config ``variant`` fields -- which may deliberately
+    differ, as in the scenario matrix -- untouched.  Either way the variant
+    rides inside the config, so worker jobs, slice keys and the result
+    cache distinguish variants with no further plumbing: the variant
+    participates in ``MachineConfig.fingerprint()``.  Checkpoint plans stay
+    variant-independent (the architectural stream is shared by every
+    variant) and are reused across the whole matrix.
     """
     benchmarks = list(benchmarks)
+    configs = apply_variant(configs, variant)
+    # Validate every config's variant up front: an unregistered name must
+    # abort here with the one-line error, not kill a pool worker later.
+    for config in configs.values():
+        validate_variant(config.variant)
     scale = default_scale() if scale is None else scale
     jobs = default_jobs(jobs)
     shards = default_shards(shards)

@@ -1,0 +1,130 @@
+"""The (benchmark x machine-variant) scenario matrix.
+
+Every registered machine variant (see :mod:`repro.variants`) is run over a
+benchmark set on the shared :func:`~repro.experiments.runner.run_suite`
+pool; the report shows each variant's IPC and integration rate next to its
+delta against the ``baseline`` variant, which is how the differential claims
+of the paper (integration speedup, CHT filtering value, in-order gap,
+control-speculation cost) are quantified in one table.
+
+Because the variant name is part of every configuration fingerprint, the
+whole matrix is content-addressed: a warm rerun performs zero simulations,
+and with ``shards > 1`` the checkpoint plans -- which are variant- and
+config-independent -- are built once per benchmark and shared by the whole
+matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.metrics import arithmetic_mean, format_table
+from repro.core import MachineConfig, SimStats
+from repro.experiments.runner import FAST_BENCHMARKS, run_suite
+from repro.variants import DEFAULT_VARIANT, variant_names
+
+
+@dataclass
+class ScenarioMatrixResult:
+    """All runs of one (benchmark x variant) sweep."""
+
+    benchmarks: List[str]
+    variants: List[str]
+    #: results[variant][benchmark] -> SimStats
+    results: Dict[str, Dict[str, SimStats]]
+
+    # ------------------------------------------------------------------
+    def ipc(self, variant: str) -> Dict[str, float]:
+        return {name: self.results[variant][name].ipc
+                for name in self.benchmarks}
+
+    def mean_ipc(self, variant: str) -> float:
+        return arithmetic_mean(self.ipc(variant).values())
+
+    def ipc_delta(self, variant: str) -> Optional[float]:
+        """Mean relative IPC delta of ``variant`` against the baseline
+        variant (None when the baseline is not part of the sweep)."""
+        if DEFAULT_VARIANT not in self.results:
+            return None
+        base = self.mean_ipc(DEFAULT_VARIANT)
+        if not base:
+            return None
+        return self.mean_ipc(variant) / base - 1.0
+
+    def mean_integration_rate(self, variant: str) -> float:
+        return arithmetic_mean(self.results[variant][n].integration_rate
+                               for n in self.benchmarks)
+
+    def integration_rate_delta(self, variant: str) -> Optional[float]:
+        if DEFAULT_VARIANT not in self.results:
+            return None
+        return (self.mean_integration_rate(variant)
+                - self.mean_integration_rate(DEFAULT_VARIANT))
+
+    def mean_misprediction_rate(self, variant: str) -> float:
+        return arithmetic_mean(
+            self.results[variant][n].branch_misprediction_rate
+            for n in self.benchmarks)
+
+    def mean_violations(self, variant: str) -> float:
+        return arithmetic_mean(
+            float(self.results[variant][n].memory_order_violations)
+            for n in self.benchmarks)
+
+
+def run(benchmarks: Optional[Iterable[str]] = None,
+        variants: Optional[Iterable[str]] = None,
+        scale: Optional[float] = None,
+        machine: Optional[MachineConfig] = None,
+        jobs: Optional[int] = None,
+        shards: Optional[int] = None) -> ScenarioMatrixResult:
+    """Sweep (benchmark x variant) on one pool.
+
+    ``variants`` defaults to every registered variant.  One ``run_suite``
+    call carries the whole matrix, so scheduling interleaves all variants
+    (longest jobs first) and, with sharding, every variant reuses the same
+    per-benchmark checkpoint plans.
+    """
+    benchmarks = list(benchmarks or FAST_BENCHMARKS)
+    variants = list(variants or variant_names())
+    machine = machine or MachineConfig()
+    configs = {name: machine.with_variant(name) for name in variants}
+    suite = run_suite(benchmarks, configs, scale=scale, jobs=jobs,
+                      shards=shards)
+    return ScenarioMatrixResult(benchmarks=benchmarks, variants=variants,
+                                results=suite)
+
+
+def report(result: ScenarioMatrixResult) -> str:
+    """Per-variant summary table with deltas against the baseline."""
+    rows = []
+    for variant in result.variants:
+        ipc_delta = result.ipc_delta(variant)
+        rate_delta = result.integration_rate_delta(variant)
+        rows.append({
+            "variant": variant,
+            "IPC": round(result.mean_ipc(variant), 3),
+            "dIPC%": ("--" if ipc_delta is None
+                      else f"{100.0 * ipc_delta:+.1f}"),
+            "int.rate": round(result.mean_integration_rate(variant), 3),
+            "d rate": ("--" if rate_delta is None
+                       else f"{rate_delta:+.3f}"),
+            "mispred": round(result.mean_misprediction_rate(variant), 4),
+            "violations": round(result.mean_violations(variant), 1),
+        })
+    table = format_table(
+        rows, ["variant", "IPC", "dIPC%", "int.rate", "d rate", "mispred",
+               "violations"],
+        title=f"Scenario matrix -- {len(result.variants)} variants x "
+              f"{len(result.benchmarks)} benchmarks "
+              f"(deltas vs {DEFAULT_VARIANT})")
+    per_bench = []
+    for name in result.benchmarks:
+        row = {"benchmark": name}
+        for variant in result.variants:
+            row[variant] = round(result.results[variant][name].ipc, 3)
+        per_bench.append(row)
+    detail = format_table(per_bench, ["benchmark"] + list(result.variants),
+                          title="Per-benchmark IPC")
+    return table + "\n\n" + detail

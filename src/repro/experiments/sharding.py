@@ -17,9 +17,14 @@ one simulation into ``shards`` independently schedulable *slices*:
    program exactly, so all rate metrics keep their true denominators.
 
 Checkpoints depend only on (benchmark, scale, slice starts) -- never on the
-machine configuration -- so one checkpoint set is built per benchmark and
-reused by *every* config in a sweep; it is content-addressed on disk next to
-the result cache.
+machine configuration *or the machine variant* (every variant retires the
+same architectural stream; DIVA guarantees it) -- so one checkpoint set is
+built per benchmark and reused by *every* config and variant in a sweep; it
+is content-addressed on disk next to the result cache.  Slice and merged
+results, by contrast, are cycle-level and therefore variant-specific:
+:func:`slice_key` and :func:`merged_key` hash the full
+``MachineConfig.fingerprint()``, which includes the variant name, so two
+variants of the same configuration can never shadow each other's entries.
 
 Accuracy: ``shards=1`` is the unsharded engine (bit-identical stats).  With
 the default warm-up (one full slice), ``shards=2`` is exact -- slice 1's

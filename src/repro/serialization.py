@@ -37,10 +37,23 @@ def to_dict(config: Any) -> Any:
     """Recursively convert a configuration dataclass to plain JSON types.
 
     Enums serialize to their ``value``; nested dataclasses to nested dicts.
+    Fields named in the class's ``_ELIDE_DEFAULT`` set are *omitted* while
+    they hold their default value: such fields extend a configuration class
+    without perturbing the canonical JSON -- and therefore the fingerprint
+    and every cache key -- of configurations that do not use them (the
+    ``variant`` field relies on this so pre-variant cache entries keep
+    resolving for the baseline machine).
     """
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
-        return {f.name: to_dict(getattr(config, f.name))
-                for f in dataclasses.fields(config)}
+        elide = getattr(type(config), "_ELIDE_DEFAULT", ())
+        out = {}
+        for f in dataclasses.fields(config):
+            value = getattr(config, f.name)
+            if (f.name in elide and f.default is not dataclasses.MISSING
+                    and value == f.default):
+                continue
+            out[f.name] = to_dict(value)
+        return out
     if isinstance(config, enum.Enum):
         return config.value
     if isinstance(config, (list, tuple)):

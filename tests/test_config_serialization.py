@@ -136,3 +136,32 @@ class TestFingerprint:
                 seen.add(fp)
 
         visit(base, lambda v: v)
+
+
+class TestElidedDefaults:
+    """The ``variant`` field is elided from canonical JSON at its default,
+    keeping pre-variant fingerprints (and cache keys) byte-stable."""
+
+    def test_default_variant_absent_from_canonical_dict(self):
+        payload = MachineConfig().to_dict()
+        assert "variant" not in payload
+
+    def test_non_default_variant_present_and_fingerprinted(self):
+        base = MachineConfig()
+        other = base.with_variant("no-cht")
+        assert other.to_dict()["variant"] == "no-cht"
+        assert other.fingerprint() != base.fingerprint()
+
+    def test_explicit_baseline_equals_default_fingerprint(self):
+        base = MachineConfig()
+        assert (base.with_variant("baseline").fingerprint()
+                == base.fingerprint())
+
+    def test_elided_dict_roundtrips_to_default(self):
+        restored = MachineConfig.from_dict(MachineConfig().to_dict())
+        assert restored == MachineConfig()
+        assert restored.variant == "baseline"
+
+    def test_variant_roundtrips(self):
+        config = MachineConfig().with_variant("oracle-bp")
+        assert MachineConfig.from_dict(config.to_dict()) == config

@@ -67,6 +67,25 @@ def test_stage_pipeline_matches_seed_goldens(bench_name, config_name):
 
 @pytest.mark.parametrize("config_name", sorted(CONFIGS))
 @pytest.mark.parametrize("bench_name", sorted(SMOKE_BENCHMARKS))
+def test_run_suite_baseline_variant_matches_seed_goldens(bench_name,
+                                                         config_name):
+    """``run_suite(variant="baseline")`` is the same bit-exact machine: the
+    builder/variant subsystem must not perturb the default path (PR-4
+    acceptance criterion)."""
+    from repro.experiments import runner
+
+    config = MachineConfig().with_integration(CONFIGS[config_name])
+    results = runner.run_suite([bench_name], {config_name: config},
+                               scale=GOLDEN_SCALE, jobs=1, shards=1,
+                               use_cache=False, variant="baseline")
+    stats = results[config_name][bench_name]
+    expected = GOLDEN[(bench_name, config_name)]
+    observed = {name: getattr(stats, name) for name in expected}
+    assert observed == expected
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("bench_name", sorted(SMOKE_BENCHMARKS))
 def test_shards1_engine_matches_seed_goldens(bench_name, config_name):
     """``shards=1`` through the experiment engine is the same bit-exact
     machine: the checkpointed-slice subsystem must not perturb the default
