@@ -4,23 +4,33 @@ Subcommands::
 
     repro run      -- simulate benchmarks under the paper's configurations
     repro figures  -- regenerate the paper's figure/table reports
+    repro submit   -- publish a sweep to the distributed work queue
+    repro worker   -- drain jobs from the queue (run any number of these)
+    repro status   -- queue depth, lease ages, per-worker throughput
+    repro profile  -- cProfile the simulator's hot path
     repro variants -- list the registered machine variants
-    repro cache    -- inspect or clear the on-disk result cache
+    repro cache    -- inspect, clear or garbage-collect the result cache
 
-``--jobs`` fans simulations out over a process pool; ``--shards`` splits
-every benchmark into checkpointed slices so even one long benchmark uses
-many cores (1 = bit-exact unsharded engine); ``--scale`` shrinks or grows
-the synthetic workloads; ``--benchmarks`` picks the benchmark set
-(``smoke``/``fast``/``all`` or an explicit comma-separated list);
-``--variant`` (or ``REPRO_VARIANT``) retargets the sweep at a registered
-machine variant (see ``repro variants``); ``figures --plot-dir DIR``
-additionally renders PNG panels (requires matplotlib).
+``--jobs`` fans simulations out over a process pool; ``--backend`` (or
+``REPRO_BACKEND``) picks the execution backend -- ``serial``, ``pool`` or
+``distributed``, the last publishing every job to a filesystem queue that
+any fleet of ``repro worker`` processes sharing ``REPRO_CACHE_DIR`` drains;
+``--shards`` splits every benchmark into checkpointed slices so even one
+long benchmark uses many cores (1 = bit-exact unsharded engine);
+``--scale`` shrinks or grows the synthetic workloads; ``--benchmarks``
+picks the benchmark set (``smoke``/``fast``/``all`` or an explicit
+comma-separated list); ``--variant`` (or ``REPRO_VARIANT``) retargets the
+sweep at a registered machine variant (see ``repro variants``);
+``--verbose`` prints the full run-telemetry breakdown (including remote
+jobs and reclaimed leases under the distributed backend); ``figures
+--plot-dir DIR`` additionally renders PNG panels (requires matplotlib).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
@@ -66,8 +76,60 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "variants` (default: REPRO_VARIANT or "
                              "baseline; ignored by --figures scenarios, "
                              "which sweeps every variant)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        choices=("serial", "pool", "distributed"),
+                        help="execution backend: serial, pool or "
+                             "distributed (default: REPRO_BACKEND, else "
+                             "pool when --jobs > 1)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the result caches entirely")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print the full run-telemetry breakdown")
+
+
+def _add_queue_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="work queue directory (default: "
+                             "REPRO_QUEUE_DIR or <cache root>/queue)")
+    parser.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                        help="seconds before an unheartbeated claim may be "
+                             "reclaimed (default: REPRO_LEASE_TTL or 60)")
+
+
+def _queue_from(args: argparse.Namespace):
+    from repro.distrib import JobQueue
+
+    root = Path(args.queue_dir) if args.queue_dir else None
+    return JobQueue(root=root, lease_ttl=args.lease_ttl)
+
+
+def _print_summary(verbose: bool = False) -> None:
+    """The post-run provenance line(s): who computed what.
+
+    ``simulations`` only counts work done by this process (and its pool
+    children); jobs executed by remote workers under the distributed
+    backend are reported separately so the summary stays truthful.
+    """
+    from repro.experiments import runner
+
+    t = runner.telemetry
+    sliced = t.slices_simulated
+    line = (f"\n{t.simulations} simulations"
+            + (f" ({sliced} slices)" if sliced else "") + ", "
+            f"{t.memory_hits} memory hits, {t.disk_hits} disk hits")
+    if t.remote_jobs:
+        line += f", {t.remote_jobs} remote jobs"
+    if t.leases_reclaimed:
+        line += f", {t.leases_reclaimed} leases reclaimed"
+    print(line)
+    if verbose:
+        print(f"  local simulations:   {t.simulations}")
+        print(f"  slices simulated:    {t.slices_simulated}")
+        print(f"  remote jobs:         {t.remote_jobs}")
+        print(f"  leases reclaimed:    {t.leases_reclaimed}")
+        print(f"  memory hits:         {t.memory_hits}")
+        print(f"  disk hits:           {t.disk_hits}")
+        print(f"  memory evictions:    {t.memory_evictions}")
 
 
 def _check_shards(args: argparse.Namespace) -> None:
@@ -89,13 +151,11 @@ def _resolve_variant(args: argparse.Namespace):
     return default_variant()
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _suite_configs(args: argparse.Namespace):
+    """The named integration-config suite shared by run and submit."""
     from repro.core import MachineConfig
-    from repro.experiments import runner
     from repro.integration.config import IntegrationConfig
 
-    _check_shards(args)
-    benchmarks = _parse_benchmarks(args.benchmarks)
     machine = MachineConfig()
     named = {
         "none": IntegrationConfig.disabled(),
@@ -109,15 +169,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         raise SystemExit(f"unknown configs: {', '.join(unknown)} "
                          f"(available: {', '.join(named)})")
-    suite_configs = {name: machine.with_integration(named[name])
-                     for name in wanted}
+    return wanted, {name: machine.with_integration(named[name])
+                    for name in wanted}
 
-    variant = _resolve_variant(args)
-    if variant is not None:
-        print(f"variant: {variant}")
-    results = runner.run_suite(benchmarks, suite_configs, scale=args.scale,
-                               jobs=args.jobs, shards=args.shards,
-                               use_cache=not args.no_cache, variant=variant)
+
+def _print_run_table(results, wanted, benchmarks) -> None:
     header = (f"{'benchmark':<12} {'config':<8} {'cycles':>9} {'retired':>9} "
               f"{'IPC':>7} {'int.rate':>9} {'misint/M':>9}")
     print(header)
@@ -129,11 +185,161 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"{stats.retired:>9} {stats.ipc:>7.3f} "
                   f"{stats.integration_rate:>9.3f} "
                   f"{stats.mis_integrations_per_million:>9.1f}")
-    sliced = runner.telemetry.slices_simulated
-    print(f"\n{runner.telemetry.simulations} simulations"
-          + (f" ({sliced} slices)" if sliced else "") + ", "
-          f"{runner.telemetry.memory_hits} memory hits, "
-          f"{runner.telemetry.disk_hits} disk hits")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
+    _check_shards(args)
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    wanted, suite_configs = _suite_configs(args)
+    variant = _resolve_variant(args)
+    if variant is not None:
+        print(f"variant: {variant}")
+    results = runner.run_suite(benchmarks, suite_configs, scale=args.scale,
+                               jobs=args.jobs, shards=args.shards,
+                               use_cache=not args.no_cache, variant=variant,
+                               backend=args.backend)
+    _print_run_table(results, wanted, benchmarks)
+    _print_summary(args.verbose)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Publish a sweep to the distributed queue; optionally await results.
+
+    With ``--wait`` (the default) this blocks until every merged SimStats
+    is resolvable from the shared cache -- i.e. until the worker fleet (or
+    this process itself, with ``--drain``) has finished the sweep -- and
+    prints the same table as ``repro run``.  ``--no-wait`` enqueues the
+    jobs and returns immediately; workers publish results into the shared
+    content-addressed cache, so a later ``repro submit --wait`` (or plain
+    ``repro run``) assembles them without re-simulating.
+    """
+    from repro.distrib import DistributedBackend
+    from repro.experiments import runner
+
+    _check_shards(args)
+    if args.no_cache:
+        raise SystemExit(
+            "repro submit requires the shared disk cache (it is how "
+            "workers hand results back); drop --no-cache")
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    wanted, suite_configs = _suite_configs(args)
+    variant = _resolve_variant(args)
+    if variant is not None:
+        print(f"variant: {variant}")
+    queue_dir = Path(args.queue_dir) if args.queue_dir else None
+    backend = DistributedBackend(queue_dir=queue_dir,
+                                 lease_ttl=args.lease_ttl,
+                                 drain=args.drain,
+                                 timeout=args.timeout)
+
+    if args.no_wait:
+        configs = runner.apply_variant(suite_configs, variant)
+        for config in configs.values():
+            runner.validate_variant(config.variant)
+        scale = (runner.default_scale() if args.scale is None
+                 else args.scale)
+        shards = runner.default_shards(args.shards)
+        warmup = runner.default_warmup_fraction()
+        plan = runner.plan_suite(benchmarks, configs, scale, shards,
+                                 warmup, use_cache=True)
+        submitted = backend.submit(plan.jobs_list, use_cache=True)
+        cached = sum(len(cells) for key, cells in plan.placements.items()
+                     if key not in {k for k, _, _ in plan.pending})
+        queue = backend.queue()
+        print(f"submitted {len(submitted)} job(s) to {queue.root} "
+              f"({cached} result(s) already cached); drain with any "
+              f"number of `repro worker` processes sharing this cache")
+        return 0
+
+    try:
+        results = runner.run_suite(benchmarks, suite_configs,
+                                   scale=args.scale, jobs=args.jobs,
+                                   shards=args.shards, use_cache=True,
+                                   variant=variant, backend=backend)
+    except (TimeoutError, RuntimeError) as exc:
+        # Timed-out wait or dead-lettered jobs: one line, not a traceback
+        # (`repro status` has the details).
+        raise SystemExit(str(exc)) from None
+    _print_run_table(results, wanted, benchmarks)
+    _print_summary(args.verbose)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distrib import run_worker
+    from repro.experiments.cache import ResultCache
+
+    summary = run_worker(
+        queue=_queue_from(args),
+        cache=ResultCache(),
+        max_jobs=args.max_jobs,
+        idle_timeout=args.idle_timeout,
+        poll_interval=args.poll_interval,
+        log=None if args.quiet else print,
+    )
+    return 1 if summary.failed and not summary.jobs_done else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    queue = _queue_from(args)
+    if args.purge:
+        removed = queue.purge()
+        print(f"purged {removed} job file(s) from {queue.root}")
+        return 0
+    if args.prune is not None:
+        removed = queue.prune_terminal(max_age_seconds=args.prune * 3600.0)
+        print(f"pruned {removed} terminal record(s) (done/dead/worker "
+              f"stats older than {args.prune:g}h) from {queue.root}")
+        return 0
+    status = queue.status()
+    print(f"queue:    {status.root}")
+    print(f"pending:  {status.pending}")
+    print(f"claimed:  {status.claimed}")
+    print(f"done:     {status.done}")
+    print(f"dead:     {status.dead}")
+    if status.leases:
+        print("leases:")
+        for worker, age, job_id in status.leases:
+            print(f"  {worker:<28} age {age:6.1f}s  {job_id[-16:]}")
+    if status.workers:
+        print("workers:")
+        import time as _time
+
+        now = _time.time()
+        for name, stats in sorted(status.workers.items()):
+            done = (int(stats.get("executed", 0))
+                    + int(stats.get("cache_hits", 0)))
+            elapsed = max(1e-9, now - float(stats.get("started_at", now)))
+            rate = 60.0 * done / elapsed
+            print(f"  {name:<28} {done:>5} job(s)  {rate:7.1f} jobs/min  "
+                  f"failed {int(stats.get('failed', 0))}  "
+                  f"reclaimed {int(stats.get('reclaimed', 0))}")
+    if status.dead:
+        print("dead letters:")
+        for dead in queue.dead_jobs():
+            last = (dead.errors or ["unknown"])[-1].strip().splitlines()
+            print(f"  {dead.key[:16]} after {dead.attempts} attempt(s): "
+                  f"{last[-1] if last else 'unknown'}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis import profiling
+    from repro.core import MachineConfig
+    from repro.experiments import runner
+
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    scale = runner.default_scale() if args.scale is None else args.scale
+    config = MachineConfig()
+    variant = _resolve_variant(args)
+    if variant is not None:
+        config = config.with_variant(variant)
+    result = profiling.profile_simulate(benchmarks, scale, config=config,
+                                        top_n=args.top)
+    print(profiling.report(result))
     return 0
 
 
@@ -155,6 +361,11 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         # The figure modules call run_suite without a shards argument, so
         # it resolves through REPRO_SHARDS; route the CLI flag there.
         os.environ["REPRO_SHARDS"] = str(args.shards)
+    if args.backend is not None:
+        # Same routing for the execution backend: the figure modules call
+        # run_suite without a backend argument, which falls back to
+        # REPRO_BACKEND.
+        os.environ["REPRO_BACKEND"] = args.backend
     benchmarks = _parse_benchmarks(args.benchmarks)
     variant = _resolve_variant(args)
     common = dict(benchmarks=benchmarks, scale=args.scale, jobs=args.jobs)
@@ -193,8 +404,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             if path is not None:
                 print(f"wrote {path}")
                 print()
-    print(f"{runner.telemetry.simulations} simulations, "
-          f"{runner.telemetry.disk_hits} disk hits")
+    _print_summary(args.verbose)
     return 0
 
 
@@ -225,6 +435,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     elif args.cache_action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
+    elif args.cache_action == "gc":
+        max_age = (None if args.max_age_days is None
+                   else args.max_age_days * 86400.0)
+        max_bytes = (None if args.max_size_mb is None
+                     else int(args.max_size_mb * 1024 * 1024))
+        stats = cache.gc(max_age_seconds=max_age, max_bytes=max_bytes,
+                         tmp_grace_seconds=args.tmp_grace_minutes * 60.0)
+        print(f"cache root:        {cache.root}")
+        print(f"orphaned tmp:      {stats['tmp_removed']} removed")
+        print(f"aged out:          {stats['aged_out']} removed")
+        print(f"size evictions:    {stats['evicted_for_size']} removed")
+        print(f"freed:             {stats['bytes_freed'] / 1024:.1f} KiB")
+        print(f"kept:              {stats['entries_kept']} entries, "
+              f"{stats['bytes_kept'] / 1024:.1f} KiB")
     return 0
 
 
@@ -254,12 +478,90 @@ def build_parser() -> argparse.ArgumentParser:
                             "matplotlib)")
     p_fig.set_defaults(func=_cmd_figures)
 
+    p_sub = sub.add_parser(
+        "submit",
+        help="publish a sweep to the distributed work queue")
+    _add_common(p_sub)
+    _add_queue_args(p_sub)
+    p_sub.add_argument("--configs", default=None, metavar="LIST",
+                       help="comma-separated integration configs: none,"
+                            "squash,general,opcode,full (default: none,full)")
+    p_sub.add_argument("--no-wait", action="store_true",
+                       help="enqueue and exit instead of blocking until "
+                            "the merged results are resolvable from cache")
+    p_sub.add_argument("--drain", action="store_true",
+                       help="while waiting, also work the queue from this "
+                            "process (completes even with no workers)")
+    p_sub.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="abort the wait after S seconds without "
+                            "progress (default: wait forever)")
+    p_sub.set_defaults(func=_cmd_submit)
+
+    p_wrk = sub.add_parser(
+        "worker", help="drain simulation jobs from the work queue")
+    _add_queue_args(p_wrk)
+    p_wrk.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                       help="exit after completing N jobs (default: "
+                            "unbounded)")
+    p_wrk.add_argument("--idle-timeout", type=float, default=None,
+                       metavar="S",
+                       help="exit after S seconds with no claimable work "
+                            "(default: wait forever)")
+    p_wrk.add_argument("--poll-interval", type=float, default=0.2,
+                       metavar="S", help="idle poll period (default: 0.2s)")
+    p_wrk.add_argument("--quiet", action="store_true",
+                       help="suppress per-job log lines")
+    p_wrk.set_defaults(func=_cmd_worker)
+
+    p_st = sub.add_parser(
+        "status", help="show queue depth, lease ages and worker throughput")
+    _add_queue_args(p_st)
+    p_st.add_argument("--purge", action="store_true",
+                      help="delete every job file (all states), lease and "
+                           "worker record in the queue -- including live "
+                           "pending/claimed work")
+    p_st.add_argument("--prune", type=float, default=None, metavar="H",
+                      nargs="?", const=0.0,
+                      help="safe cleanup: delete only terminal records "
+                           "(done/dead markers, worker stats) older than "
+                           "H hours (default 0 = all); never touches "
+                           "pending or claimed jobs")
+    p_st.set_defaults(func=_cmd_status)
+
+    p_prof = sub.add_parser(
+        "profile", help="cProfile the simulator hot path")
+    p_prof.add_argument("--benchmarks", default="gzip", metavar="SET",
+                        help="smoke|fast|all or a comma-separated list "
+                             "(default: gzip)")
+    p_prof.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (default: REPRO_SCALE "
+                             "or 0.5)")
+    p_prof.add_argument("--variant", default=None, metavar="NAME",
+                        help="machine variant to profile (default: "
+                             "REPRO_VARIANT or baseline)")
+    p_prof.add_argument("--top", type=int, default=15, metavar="N",
+                        help="rows in the cumulative-time table "
+                             "(default: 15)")
+    p_prof.set_defaults(func=_cmd_profile)
+
     p_var = sub.add_parser("variants",
                            help="list the registered machine variants")
     p_var.set_defaults(func=_cmd_variants)
 
-    p_cache = sub.add_parser("cache", help="manage the on-disk result cache")
-    p_cache.add_argument("cache_action", choices=("info", "clear"))
+    p_cache = sub.add_parser(
+        "cache", help="manage the on-disk result cache")
+    p_cache.add_argument("cache_action", choices=("info", "clear", "gc"))
+    p_cache.add_argument("--max-age-days", type=float, default=None,
+                         metavar="D",
+                         help="gc: drop entries older than D days")
+    p_cache.add_argument("--max-size-mb", type=float, default=None,
+                         metavar="MB",
+                         help="gc: evict oldest entries until the cache "
+                              "fits in MB megabytes")
+    p_cache.add_argument("--tmp-grace-minutes", type=float, default=60.0,
+                         metavar="M",
+                         help="gc: sweep orphaned *.tmp files older than "
+                              "M minutes (default: 60)")
     p_cache.set_defaults(func=_cmd_cache)
     return parser
 

@@ -1,5 +1,6 @@
-"""Result analysis helpers: speedups, means, the Figure 5 breakdowns, and
-(matplotlib-gated) figure plotting in :mod:`repro.analysis.plots`."""
+"""Result analysis helpers: speedups, means, the Figure 5 breakdowns,
+(matplotlib-gated) figure plotting in :mod:`repro.analysis.plots`, and the
+``repro profile`` cProfile harness in :mod:`repro.analysis.profiling`."""
 
 from repro.analysis.metrics import (
     speedup,

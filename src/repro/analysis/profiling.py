@@ -1,0 +1,163 @@
+"""cProfile harness over ``simulate()`` -- the ``repro profile`` command.
+
+The ROADMAP's hot-path item names the per-cycle inner loops --
+``IssueExecute._execute`` (and its load/store split) and the
+:class:`~repro.core.lsq.LoadStoreQueue` indices -- as where simulation time
+goes.  This module profiles one or more benchmarks through the real
+:func:`repro.core.simulate` entry point (caches deliberately bypassed: a
+profile of cache hits is useless) and reports
+
+* the top-N functions by cumulative time, and
+* a pinned *hot-path highlights* section extracting exactly those
+  scheduler/LSQ functions, so successive PRs can diff like against like
+  without fishing them out of the full table.
+
+Pure stdlib (``cProfile``/``pstats``), so the command works everywhere the
+simulator does.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core import MachineConfig, simulate
+from repro.workloads import build_workload
+
+#: (module suffix, function name) patterns pinned in the highlights
+#: section: the issue/execute inner loop and the LSQ index operations.
+HOT_PATH_FUNCTIONS: Tuple[Tuple[str, str], ...] = (
+    ("stages/execute.py", "_execute"),
+    ("stages/execute.py", "_execute_load"),
+    ("stages/execute.py", "_execute_store"),
+    ("stages/execute.py", "tick"),
+    ("core/lsq.py", "forward_from"),
+    ("core/lsq.py", "older_stores_unresolved"),
+    ("core/lsq.py", "older_store_conflict_possible"),
+    ("core/lsq.py", "resolve_store"),
+    ("core/lsq.py", "record_load"),
+    ("core/lsq.py", "insert"),
+    ("core/lsq.py", "remove"),
+    ("core/scheduler.py", "select"),
+    ("core/scheduler.py", "wakeup"),
+)
+
+
+@dataclass
+class FunctionProfile:
+    """One row of the profile: who, how often, how long."""
+
+    where: str            # "module.py:line(function)"
+    calls: int
+    total_time: float     # self time, seconds
+    cumulative: float     # including callees, seconds
+
+
+@dataclass
+class ProfileResult:
+    """Everything ``repro profile`` reports."""
+
+    benchmarks: List[str]
+    scale: float
+    variant: str
+    wall_seconds: float
+    retired: int
+    cycles: int
+    top: List[FunctionProfile] = field(default_factory=list)
+    highlights: List[FunctionProfile] = field(default_factory=list)
+
+    @property
+    def retired_per_second(self) -> float:
+        return self.retired / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def _rows_from_stats(stats: pstats.Stats) -> Dict[Tuple[str, int, str],
+                                                  FunctionProfile]:
+    rows: Dict[Tuple[str, int, str], FunctionProfile] = {}
+    for func, (_cc, ncalls, tottime, cumtime, _callers) in \
+            stats.stats.items():   # type: ignore[attr-defined]
+        filename, line, name = func
+        short = "/".join(filename.replace("\\", "/").split("/")[-2:])
+        rows[func] = FunctionProfile(
+            where=f"{short}:{line}({name})",
+            calls=int(ncalls), total_time=float(tottime),
+            cumulative=float(cumtime))
+    return rows
+
+
+def _is_highlight(func: Tuple[str, int, str]) -> bool:
+    filename, _line, name = func
+    normalized = filename.replace("\\", "/")
+    return any(normalized.endswith(suffix) and name == target
+               for suffix, target in HOT_PATH_FUNCTIONS)
+
+
+def profile_simulate(benchmarks: Iterable[str],
+                     scale: float,
+                     config: Optional[MachineConfig] = None,
+                     top_n: int = 15) -> ProfileResult:
+    """Profile ``simulate()`` over the given benchmarks under one config.
+
+    All benchmarks run inside a single profiler session so the report
+    reflects the aggregate hot path of the selection; workload
+    construction happens *outside* the profiled region (it is not
+    simulator time).
+    """
+    benchmarks = list(benchmarks)
+    config = config or MachineConfig()
+    programs = [(name, build_workload(name, scale=scale))
+                for name in benchmarks]
+    profiler = cProfile.Profile()
+    retired = cycles = 0
+    profiler.enable()
+    try:
+        for name, program in programs:
+            stats = simulate(program, config, name=name)
+            retired += stats.retired
+            cycles += stats.cycles
+    finally:
+        profiler.disable()
+
+    pstats_obj = pstats.Stats(profiler, stream=io.StringIO())
+    rows = _rows_from_stats(pstats_obj)
+    by_cumulative = sorted(rows.items(), key=lambda item: -item[1].cumulative)
+    # total_tt (sum of self times) can land a hair under the root frame's
+    # cumulative time; use the larger so shares never exceed 100%.
+    wall = float(getattr(pstats_obj, "total_tt", 0.0))
+    if by_cumulative:
+        wall = max(wall, by_cumulative[0][1].cumulative)
+    top = [row for func, row in by_cumulative[:max(1, top_n)]]
+    highlights = [row for func, row in by_cumulative if _is_highlight(func)]
+    return ProfileResult(
+        benchmarks=benchmarks, scale=scale, variant=config.variant,
+        wall_seconds=wall, retired=retired, cycles=cycles,
+        top=top, highlights=highlights)
+
+
+def _table(rows: List[FunctionProfile], wall: float, title: str) -> str:
+    lines = [title,
+             f"{'cum s':>9} {'cum %':>6} {'self s':>9} {'calls':>10}  where",
+             "-" * 78]
+    for row in rows:
+        share = 100.0 * row.cumulative / wall if wall else 0.0
+        lines.append(f"{row.cumulative:>9.4f} {share:>5.1f}% "
+                     f"{row.total_time:>9.4f} {row.calls:>10}  {row.where}")
+    return "\n".join(lines)
+
+
+def report(result: ProfileResult) -> str:
+    """The ``repro profile`` text report."""
+    head = (f"profiled {', '.join(result.benchmarks)} at scale "
+            f"{result.scale:g} (variant: {result.variant or 'baseline'}): "
+            f"{result.retired} retired / {result.cycles} cycles in "
+            f"{result.wall_seconds:.2f}s "
+            f"({result.retired_per_second:,.0f} retired insts/s)")
+    top = _table(result.top, result.wall_seconds,
+                 f"\ntop {len(result.top)} by cumulative time")
+    hot = _table(result.highlights, result.wall_seconds,
+                 "\nhot-path highlights (IssueExecute + LSQ/scheduler "
+                 "indices)")
+    return "\n".join((head, top, hot))

@@ -1,0 +1,298 @@
+"""Execution backends: where the experiment engine's jobs actually run.
+
+:func:`repro.experiments.runner.run_suite` plans a list of (estimated-work,
+job) pairs -- each job one deterministic, content-addressed simulation --
+and hands the whole list to an :class:`ExecutionBackend`.  Three
+implementations cover one process, one machine and one fleet:
+
+* :class:`SerialBackend` -- run every job in-process, sharing one
+  :class:`Program` instance per benchmark across slice jobs.
+* :class:`PoolBackend` -- the ``multiprocessing`` pool: ``imap_unordered``
+  over the longest-first job list so short jobs backfill stragglers.  This
+  is the historical ``jobs > 1`` path, behavior-preserving.
+* :class:`DistributedBackend` -- publish every job into the durable
+  filesystem :class:`~repro.distrib.queue.JobQueue` and block until every
+  result is resolvable from the shared
+  :class:`~repro.experiments.cache.ResultCache`; any fleet of
+  ``repro worker`` processes sharing the cache directory drains the queue.
+  With ``drain=True`` (the default) the submitting process also works the
+  queue between cache polls, so a distributed run completes even with no
+  external workers -- they just make it faster.
+
+Selection: ``run_suite(backend=...)`` accepts a backend instance or a name;
+``None`` falls back to ``REPRO_BACKEND`` and finally to the classic
+pool-or-serial choice implied by ``jobs``.
+
+All backends return the same ``{cache key: SimStats}`` mapping and, because
+simulation is deterministic, identical bits -- the backend-equivalence
+tests pin that.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Protocol, Tuple, Union
+
+from repro.core import SimStats
+from repro.distrib.queue import JobQueue, job_id_for, worker_identity
+
+BACKEND_NAMES = ("serial", "pool", "distributed")
+ENV_BACKEND = "REPRO_BACKEND"
+
+#: One plannable job, as built by ``run_suite``:
+#: (key, benchmark, config, scale, use_cache, slice_spec, checkpoint).
+Job = Tuple[str, str, object, float, bool, object, object]
+#: (estimated work, job) -- the estimate orders execution longest-first.
+SizedJob = Tuple[int, Job]
+
+
+class BackendError(SystemExit):
+    """A backend mis-configuration, reported as a one-line CLI error."""
+
+
+class ExecutionBackend(Protocol):
+    """Anything that can run a planned job list to completion."""
+
+    name: str
+
+    def execute(self, jobs_list: List[SizedJob],
+                use_cache: bool) -> Dict[str, SimStats]:
+        """Run every job and return ``{key: stats}`` for all of them."""
+        ...
+
+
+def _ordered(jobs_list: List[SizedJob]) -> List[Job]:
+    return [job for _, job in
+            sorted(jobs_list, key=lambda item: item[0], reverse=True)]
+
+
+class SerialBackend:
+    """Everything in this process, one job at a time."""
+
+    name = "serial"
+
+    def execute(self, jobs_list: List[SizedJob],
+                use_cache: bool) -> Dict[str, SimStats]:
+        from repro.experiments import runner, sharding
+        from repro.workloads import build_workload
+
+        outcomes: Dict[str, SimStats] = {}
+        # One Program instance per benchmark: slice jobs of the same
+        # benchmark (across every config) share it instead of regenerating.
+        programs: Dict[Tuple[str, float], object] = {}
+        for job in _ordered(jobs_list):
+            key, benchmark, config, scale, _, slice_spec, checkpoint = job
+            if slice_spec is None:
+                stats = runner._simulate(benchmark, config, scale)
+            else:
+                program = programs.get((benchmark, scale))
+                if program is None:
+                    program = build_workload(benchmark, scale=scale)
+                    programs[(benchmark, scale)] = program
+                runner.telemetry.simulations += 1
+                stats = sharding.simulate_slice(program, config, slice_spec,
+                                                checkpoint, name=benchmark)
+            if use_cache:
+                runner._cache_store(key, stats)
+            outcomes[key] = stats
+        return outcomes
+
+
+class PoolBackend:
+    """A local ``multiprocessing`` pool of ``jobs`` worker processes."""
+
+    name = "pool"
+
+    def __init__(self, jobs: int):
+        self.jobs = max(1, int(jobs))
+
+    def execute(self, jobs_list: List[SizedJob],
+                use_cache: bool) -> Dict[str, SimStats]:
+        from repro.experiments import runner
+
+        ordered = _ordered(jobs_list)
+        if self.jobs <= 1 or len(ordered) <= 1:
+            return SerialBackend().execute(jobs_list, use_cache)
+        outcomes: Dict[str, SimStats] = {}
+        ctx = runner._pool_context()
+        with ctx.Pool(processes=min(self.jobs, len(ordered))) as pool:
+            for key, simulated, stats in pool.imap_unordered(
+                    runner._pool_worker, ordered):
+                if simulated:
+                    runner.telemetry.simulations += 1
+                else:
+                    runner.telemetry.disk_hits += 1
+                if use_cache:
+                    # The worker already persisted to disk.
+                    runner._cache_store(key, stats, to_disk=False)
+                outcomes[key] = stats
+        return outcomes
+
+
+class DistributedBackend:
+    """Publish jobs to the shared queue; gather results from the cache.
+
+    The queue and the result namespaces both live under the (shared) cache
+    root, so a fleet needs exactly one knob -- ``REPRO_CACHE_DIR`` -- to
+    cooperate.  ``drain=True`` (default) makes the submitter work the
+    queue too; ``drain=False`` is pure submit-and-wait, the mode behind
+    ``repro submit`` when a dedicated fleet does the work.  ``timeout``
+    bounds the wait (None = forever); dead-lettered jobs abort the wait
+    with their failure history rather than hanging it.
+    """
+
+    name = "distributed"
+
+    def __init__(self, queue_dir: Optional[Path] = None,
+                 lease_ttl: Optional[float] = None,
+                 poll_interval: float = 0.5,
+                 drain: bool = True,
+                 timeout: Optional[float] = None):
+        self.queue_dir = queue_dir
+        self.lease_ttl = lease_ttl
+        self.poll_interval = poll_interval
+        self.drain = drain
+        self.timeout = timeout
+
+    def queue(self) -> JobQueue:
+        return JobQueue(root=self.queue_dir, lease_ttl=self.lease_ttl)
+
+    # ------------------------------------------------------------------
+    def submit(self, jobs_list: List[SizedJob],
+               use_cache: bool) -> Dict[str, Job]:
+        """Enqueue every job (deduplicating); returns ``{key: job}``."""
+        from repro.distrib.worker import make_payload
+        from repro.experiments.cache import disk_cache_enabled
+
+        if not use_cache or not disk_cache_enabled():
+            raise BackendError(
+                "the distributed backend requires the shared disk cache "
+                "(it is the result plane); do not combine it with "
+                "--no-cache / REPRO_DISK_CACHE=0")
+        queue = self.queue()
+        submitted: Dict[str, Job] = {}
+        for est_work, job in sorted(jobs_list, key=lambda item: item[0],
+                                    reverse=True):
+            key, benchmark, config, scale, _, slice_spec, checkpoint = job
+            queue.submit(
+                make_payload(key, benchmark, config, scale,
+                             slice_spec=slice_spec, checkpoint=checkpoint),
+                est_work=est_work)
+            submitted[key] = job
+        return submitted
+
+    def execute(self, jobs_list: List[SizedJob],
+                use_cache: bool) -> Dict[str, SimStats]:
+        from repro.distrib.worker import WorkerSummary, process_one
+        from repro.experiments import runner
+        from repro.experiments.cache import ResultCache
+
+        if not jobs_list:
+            return {}
+        pending = self.submit(jobs_list, use_cache)
+        job_ids = {key: job_id_for(key, est)
+                   for est, (key, *_rest) in jobs_list}
+        queue = self.queue()
+        cache = ResultCache()
+        summary = WorkerSummary(worker=worker_identity())
+        outcomes: Dict[str, SimStats] = {}
+        local_keys = set()
+        last_progress = time.time()
+        while pending:
+            progressed = False
+            if self.drain:
+                job = queue.claim(summary.worker)
+                if job is not None:
+                    executed_before = summary.executed
+                    process_one(queue, cache, job, summary)
+                    if summary.executed > executed_before:
+                        local_keys.add(job.key)
+                    progressed = True
+            reclaimed = queue.reclaim_expired()
+            if reclaimed:
+                runner.telemetry.leases_reclaimed += reclaimed
+                summary.reclaimed += reclaimed
+            for key in list(pending):
+                stats = cache.load(key)
+                if stats is not None:
+                    if key not in local_keys:
+                        runner.telemetry.remote_jobs += 1
+                    runner._cache_store(key, stats, to_disk=False)
+                    outcomes[key] = stats
+                    del pending[key]
+                    progressed = True
+            if pending:
+                # Watch only this run's own job ids (one existence probe
+                # each), not the whole dead/ directory -- a long-lived
+                # queue may carry dead letters from unrelated sweeps.
+                dead = [d for d in (queue.find_dead(job_ids[key])
+                                    for key in pending) if d is not None]
+                if dead:
+                    lines = []
+                    for d in dead:
+                        tail = (d.errors or ["unknown"])[-1].strip()
+                        last = tail.splitlines()[-1] if tail else "unknown"
+                        lines.append(f"  {d.key[:16]} after {d.attempts} "
+                                     f"attempts: {last}")
+                    raise RuntimeError(
+                        f"{len(dead)} job(s) dead-lettered in {queue.root}"
+                        + "\n" + "\n".join(lines))
+            now = time.time()
+            if progressed:
+                last_progress = now
+            elif pending:
+                # The timeout is progress-based, not absolute: a healthy
+                # fleet mid-way through long jobs keeps resetting it.
+                if (self.timeout is not None
+                        and now - last_progress > self.timeout):
+                    raise TimeoutError(
+                        f"distributed run made no progress for "
+                        f"{self.timeout:g}s with {len(pending)} job(s) "
+                        f"unresolved in {queue.root} (no live workers?)")
+                time.sleep(self.poll_interval)
+        if summary.jobs_done or summary.reclaimed or summary.failed:
+            # Only drains that actually did something publish worker
+            # stats; a pure submit-and-wait leaves no per-run debris.
+            queue.record_worker(summary.worker, summary.to_dict())
+        return outcomes
+
+
+def default_backend() -> Optional[str]:
+    """Backend name from ``REPRO_BACKEND`` (None = unset)."""
+    from repro.experiments.runner import EnvVarError
+
+    raw = os.environ.get(ENV_BACKEND, "").strip().lower()
+    if not raw:
+        return None
+    if raw not in BACKEND_NAMES:
+        raise EnvVarError(ENV_BACKEND, raw,
+                          f"one of {', '.join(BACKEND_NAMES)}")
+    return raw
+
+
+def resolve_backend(backend: Union[str, ExecutionBackend, None],
+                    jobs: int) -> ExecutionBackend:
+    """Turn a backend spec into an instance.
+
+    Precedence: an explicit instance or name wins; ``None`` falls back to
+    ``REPRO_BACKEND``; with neither set, the classic behavior-preserving
+    choice applies -- a pool when ``jobs > 1``, else serial.
+    """
+    if backend is None:
+        backend = default_backend()
+    if backend is None:
+        return PoolBackend(jobs) if jobs > 1 else SerialBackend()
+    if isinstance(backend, str):
+        name = backend.strip().lower()
+        if name == "serial":
+            return SerialBackend()
+        if name == "pool":
+            return PoolBackend(jobs)
+        if name == "distributed":
+            return DistributedBackend()
+        raise BackendError(
+            f"unknown backend {backend!r} "
+            f"(available: {', '.join(BACKEND_NAMES)})")
+    return backend

@@ -1,0 +1,209 @@
+"""The worker loop behind ``repro worker``, and the job payload format.
+
+A *job payload* is a self-contained JSON description of one simulation:
+benchmark name, workload scale, the full canonical
+:class:`~repro.core.MachineConfig` dict (which carries the variant), and --
+for sharded work units -- the slice geometry plus the architectural
+checkpoint to resume from.  Self-containment is the point: a worker needs
+nothing but the payload and the shared cache directory; it never re-plans
+checkpoints or talks to the submitter.
+
+Execution is idempotent by construction.  The payload carries the result's
+content address (the same ``result_key``/``slice_key`` the in-process
+engine uses), the worker probes the shared
+:class:`~repro.experiments.cache.ResultCache` under that key before
+simulating, and publishes its result there before marking the job done --
+so duplicated execution (a reclaimed-then-finished job, a resubmitted
+sweep) costs at most wasted CPU, never wrong or double-counted results.
+
+The loop heartbeats its lease from a daemon thread while the (long,
+synchronous) simulation call runs, reclaims expired leases of crashed
+peers on every idle poll, and publishes throughput counters for
+``repro status``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.core import MachineConfig, SimStats, simulate
+from repro.distrib.queue import ClaimedJob, JobQueue, worker_identity
+from repro.experiments.cache import ResultCache
+from repro.experiments.sharding import SliceSpec, simulate_slice
+from repro.functional.emulator import Checkpoint
+from repro.workloads import build_workload
+
+#: Fraction of the lease TTL between heartbeats while a job runs.
+HEARTBEAT_FRACTION = 0.25
+
+
+# ----------------------------------------------------------------------
+# job payloads
+# ----------------------------------------------------------------------
+def make_payload(key: str, benchmark: str, config: MachineConfig,
+                 scale: float, slice_spec: Optional[SliceSpec] = None,
+                 checkpoint: Optional[Checkpoint] = None) -> Dict[str, Any]:
+    """Serialize one work unit into a self-contained JSON payload."""
+    payload: Dict[str, Any] = {
+        "key": key,
+        "benchmark": benchmark,
+        "scale": float(scale),
+        "config": config.to_dict(),
+    }
+    if slice_spec is not None:
+        payload["slice"] = slice_spec.to_dict()
+        payload["slice"]["checkpoint"] = (checkpoint.to_dict()
+                                          if checkpoint else None)
+    return payload
+
+
+def execute_payload(payload: Dict[str, Any]) -> SimStats:
+    """Run the simulation a payload describes (no cache interaction)."""
+    from repro.experiments import runner
+
+    benchmark = payload["benchmark"]
+    scale = float(payload["scale"])
+    config = MachineConfig.from_dict(payload["config"])
+    program = build_workload(benchmark, scale=scale)
+    runner.telemetry.simulations += 1
+    sliced = payload.get("slice")
+    if not sliced:
+        return simulate(program, config, name=benchmark)
+    spec = SliceSpec.from_dict(sliced)
+    checkpoint = (Checkpoint.from_dict(sliced["checkpoint"])
+                  if sliced.get("checkpoint") else None)
+    return simulate_slice(program, config, spec, checkpoint, name=benchmark)
+
+
+# ----------------------------------------------------------------------
+# the worker loop
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerSummary:
+    """What one :func:`run_worker` invocation did."""
+
+    worker: str = ""
+    executed: int = 0        # jobs simulated by this worker
+    cache_hits: int = 0      # jobs resolved from the shared cache instead
+    failed: int = 0          # failed attempts recorded (retried or dead)
+    reclaimed: int = 0       # expired leases this worker reclaimed
+    lost: int = 0            # completions that lost the done-rename race
+    started_at: float = field(default_factory=time.time)
+
+    @property
+    def jobs_done(self) -> int:
+        return self.executed + self.cache_hits
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "failed": self.failed,
+            "reclaimed": self.reclaimed,
+            "lost": self.lost,
+            "started_at": self.started_at,
+        }
+
+
+class _Heartbeat:
+    """Daemon thread refreshing one job's lease while it executes."""
+
+    def __init__(self, queue: JobQueue, job: ClaimedJob):
+        self._queue = queue
+        self._job = job
+        self._stop = threading.Event()
+        interval = max(0.05, queue.lease_ttl * HEARTBEAT_FRACTION)
+        self._thread = threading.Thread(
+            target=self._run, args=(interval,), daemon=True)
+
+    def _run(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            try:
+                self._queue.heartbeat(self._job)
+            except OSError:
+                pass                      # transient FS error; retry next beat
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+def process_one(queue: JobQueue, cache: ResultCache, job: ClaimedJob,
+                summary: WorkerSummary) -> None:
+    """Execute one claimed job end to end (shared with the inline drain).
+
+    Publishes the result to the shared cache *before* the ``done``
+    transition; a failure (simulation error, unreadable payload) is
+    recorded via :meth:`JobQueue.fail`, which retries or dead-letters.
+    """
+    with _Heartbeat(queue, job):
+        try:
+            stats = cache.load(job.key) if job.key else None
+            if stats is not None:
+                summary.cache_hits += 1
+            else:
+                stats = execute_payload(job.payload)
+                summary.executed += 1
+                cache.store(job.key, stats)
+        except Exception:
+            summary.failed += 1
+            queue.fail(job, traceback.format_exc(limit=8))
+            return
+    if not queue.complete(job):
+        summary.lost += 1
+
+
+def run_worker(queue: Optional[JobQueue] = None,
+               cache: Optional[ResultCache] = None,
+               worker_id: Optional[str] = None,
+               max_jobs: Optional[int] = None,
+               idle_timeout: Optional[float] = None,
+               poll_interval: float = 0.2,
+               log: Optional[Callable[[str], None]] = None) -> WorkerSummary:
+    """Drain jobs from ``queue`` until told (or timed) out.
+
+    ``max_jobs`` bounds how many jobs this worker takes (None = no bound);
+    ``idle_timeout`` exits after that many seconds without claimable work
+    (None = wait forever, the long-lived fleet mode).  Expired peers'
+    leases are reclaimed on every idle poll.  Returns the summary that is
+    also published to ``workers/<id>.json`` for ``repro status``.
+    """
+    queue = queue if queue is not None else JobQueue()
+    cache = cache if cache is not None else ResultCache()
+    summary = WorkerSummary(worker=worker_id or worker_identity())
+    idle_since: Optional[float] = None
+    emit = log or (lambda message: None)
+    emit(f"worker {summary.worker} draining {queue.root}")
+    try:
+        while max_jobs is None or summary.jobs_done < max_jobs:
+            summary.reclaimed += queue.reclaim_expired()
+            job = queue.claim(summary.worker)
+            if job is None:
+                now = time.time()
+                if idle_since is None:
+                    idle_since = now
+                if (idle_timeout is not None
+                        and now - idle_since >= idle_timeout):
+                    break
+                time.sleep(poll_interval)
+                continue
+            idle_since = None
+            emit(f"  job {job.key[:16]} "
+                 f"({job.payload.get('benchmark', '?')})")
+            process_one(queue, cache, job, summary)
+            queue.record_worker(summary.worker, summary.to_dict())
+    except KeyboardInterrupt:
+        emit(f"worker {summary.worker} interrupted")
+    queue.record_worker(summary.worker, summary.to_dict())
+    emit(f"worker {summary.worker} exiting: {summary.executed} executed, "
+         f"{summary.cache_hits} cache hits, {summary.failed} failed, "
+         f"{summary.reclaimed} leases reclaimed")
+    return summary

@@ -32,6 +32,7 @@ from repro.experiments.runner import (
     FAST_BENCHMARKS,
     SMOKE_BENCHMARKS,
     EnvVarError,
+    SuitePlan,
     apply_variant,
     clear_cache,
     default_jobs,
@@ -39,6 +40,8 @@ from repro.experiments.runner import (
     default_shards,
     default_variant,
     default_warmup_fraction,
+    finish_suite,
+    plan_suite,
     run_benchmark,
     run_suite,
     telemetry,
@@ -60,9 +63,12 @@ __all__ = [
     "default_shards",
     "default_variant",
     "default_warmup_fraction",
+    "finish_suite",
+    "plan_suite",
     "result_key",
     "run_benchmark",
     "run_suite",
+    "SuitePlan",
     "telemetry",
     "validate_variant",
 ]

@@ -27,6 +27,7 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -34,6 +35,16 @@ from repro.core.stats import SimStats
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_DISK_CACHE = "REPRO_DISK_CACHE"
+
+#: Top-level cache subdirectories that garbage collection must never touch:
+#: the distributed work queue (see :mod:`repro.distrib.queue`) keeps its
+#: *job* files -- which are not cache entries -- under ``queue/``.
+GC_EXCLUDE_TOP = ("queue",)
+
+#: Grace period before an orphaned ``*.tmp`` (a writer killed between
+#: ``mkstemp`` and ``os.replace``) is considered garbage.  Long enough that
+#: no live writer can still own it.
+TMP_GRACE_SECONDS = 3600.0
 
 _code_version: Optional[str] = None
 
@@ -154,7 +165,126 @@ class PayloadCache:
             except OSError:
                 pass
             return
+        except BaseException:
+            # KeyboardInterrupt / SystemExit between mkstemp and replace:
+            # don't leave an orphaned .tmp behind (``cache gc`` sweeps any
+            # that SIGKILL still manages to strand).
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self.stores += 1
+
+    # ------------------------------------------------------------------
+    def _gc_candidates(self):
+        """Every GC-eligible file under the root (skips the queue tree)."""
+        if not self.root.is_dir():
+            return
+        try:
+            tops = sorted(self.root.iterdir())
+        except OSError:
+            return
+        for top in tops:
+            if top.name in GC_EXCLUDE_TOP:
+                continue
+            if top.is_file():
+                yield top
+            elif top.is_dir():
+                for path in sorted(top.rglob("*")):
+                    if path.is_file():
+                        yield path
+
+    def gc(self, max_age_seconds: Optional[float] = None,
+           max_bytes: Optional[int] = None,
+           tmp_grace_seconds: float = TMP_GRACE_SECONDS,
+           now: Optional[float] = None) -> Dict[str, int]:
+        """Age- and size-bounded garbage collection (``repro cache gc``).
+
+        Three passes, all best-effort and safe under concurrent readers,
+        writers and worker fleets (an entry deleted mid-read is a plain
+        cache miss; the queue subtree is never touched):
+
+        1. sweep orphaned ``*.tmp`` files older than ``tmp_grace_seconds``
+           -- the debris of writers killed between ``mkstemp`` and the
+           atomic rename;
+        2. with ``max_age_seconds``, drop entries whose mtime is older;
+        3. with ``max_bytes``, drop oldest-first until the cache fits.
+
+        Returns counters: ``tmp_removed``, ``aged_out``, ``evicted_for_size``,
+        ``bytes_freed``, ``entries_kept``, ``bytes_kept``.
+        """
+        now = time.time() if now is None else now
+        stats = {"tmp_removed": 0, "aged_out": 0, "evicted_for_size": 0,
+                 "bytes_freed": 0, "entries_kept": 0, "bytes_kept": 0}
+        entries = []   # (mtime, size, path) of surviving .json entries
+        for path in self._gc_candidates():
+            try:
+                info = path.stat()
+            except OSError:
+                continue
+            if path.name.endswith(".tmp"):
+                if now - info.st_mtime > tmp_grace_seconds:
+                    if self._unlink(path):
+                        stats["tmp_removed"] += 1
+                        stats["bytes_freed"] += info.st_size
+                continue
+            if not path.name.endswith(".json"):
+                continue
+            if (max_age_seconds is not None
+                    and now - info.st_mtime > max_age_seconds):
+                if self._unlink(path):
+                    stats["aged_out"] += 1
+                    stats["bytes_freed"] += info.st_size
+                continue
+            entries.append((info.st_mtime, info.st_size, path))
+
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            entries.sort()                       # oldest first
+            survivors = []
+            while entries and total > max_bytes:
+                entry = entries.pop(0)
+                _, size, path = entry
+                if self._unlink(path):
+                    stats["evicted_for_size"] += 1
+                    stats["bytes_freed"] += size
+                    total -= size
+                else:
+                    # Undeletable (EACCES/EBUSY): it still occupies space,
+                    # so it stays in the totals and eviction moves on to
+                    # the next-oldest entry.
+                    survivors.append(entry)
+            entries = survivors + entries
+        stats["entries_kept"] = len(entries)
+        stats["bytes_kept"] = sum(size for _, size, _ in entries)
+        self._prune_empty_dirs()
+        return stats
+
+    @staticmethod
+    def _unlink(path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def _prune_empty_dirs(self) -> None:
+        """Drop now-empty ``<kk>/`` shard directories after a sweep."""
+        if not self.root.is_dir():
+            return
+        for sub in self.root.iterdir():
+            if sub.name in GC_EXCLUDE_TOP or not sub.is_dir():
+                continue
+            try:
+                next(sub.iterdir())
+            except StopIteration:
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass
+            except OSError:
+                pass
 
 
 class ResultCache(PayloadCache):
@@ -183,16 +313,22 @@ class ResultCache(PayloadCache):
 
     # ------------------------------------------------------------------
     def info(self) -> Dict[str, Any]:
-        """Summary of what is on disk (for ``repro cache info``)."""
+        """Summary of what is on disk (for ``repro cache info``).
+
+        Counts cache entries only -- the work queue under ``queue/`` is
+        not part of the cache, so its job files are excluded here just as
+        they are from :meth:`gc` and :meth:`clear`.
+        """
         entries = 0
         total_bytes = 0
-        if self.root.is_dir():
-            for path in self.root.rglob("*.json"):
-                entries += 1
-                try:
-                    total_bytes += path.stat().st_size
-                except OSError:
-                    pass
+        for path in self._gc_candidates():
+            if not path.name.endswith(".json"):
+                continue
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
         return {
             "root": str(self.root),
             "enabled": disk_cache_enabled(),
@@ -202,16 +338,23 @@ class ResultCache(PayloadCache):
         }
 
     def clear(self) -> int:
-        """Delete every cached result; returns how many were removed."""
+        """Delete every cached result; returns how many were removed.
+
+        Leaves the work queue under ``queue/`` alone: clearing the cache
+        must not destroy another submitter's in-flight jobs (use
+        ``repro status --purge`` for that).
+        """
         removed = 0
         if self.root.is_dir():
-            for path in self.root.rglob("*.json"):
+            for path in self._gc_candidates():
+                if not path.name.endswith(".json"):
+                    continue
                 try:
                     path.unlink()
                     removed += 1
                 except OSError:
                     pass
             for sub in self.root.iterdir():
-                if sub.is_dir():
+                if sub.is_dir() and sub.name not in GC_EXCLUDE_TOP:
                     shutil.rmtree(sub, ignore_errors=True)
         return removed

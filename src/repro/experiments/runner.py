@@ -56,13 +56,23 @@ _DISK_CACHE: Optional[ResultCache] = None
 
 @dataclass
 class RunTelemetry:
-    """In-process counters describing where results came from."""
+    """In-process counters describing where results came from.
+
+    ``simulations`` counts only simulations run *by this process* (pool
+    children report back to the parent, so they are included); work done by
+    remote workers under the distributed backend lands in ``remote_jobs``
+    instead, so a ``--verbose`` summary stays truthful about who computed
+    what.  ``leases_reclaimed`` counts crashed-worker leases this process
+    reclaimed for the fleet.
+    """
 
     simulations: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
     memory_evictions: int = 0
     slices_simulated: int = 0
+    remote_jobs: int = 0
+    leases_reclaimed: int = 0
 
     def reset(self) -> None:
         self.simulations = 0
@@ -70,6 +80,8 @@ class RunTelemetry:
         self.disk_hits = 0
         self.memory_evictions = 0
         self.slices_simulated = 0
+        self.remote_jobs = 0
+        self.leases_reclaimed = 0
 
 
 telemetry = RunTelemetry()
@@ -313,22 +325,27 @@ def run_benchmark(benchmark: str, config: MachineConfig,
                   scale: Optional[float] = None,
                   use_cache: bool = True,
                   shards: Optional[int] = None,
-                  variant: Optional[str] = None) -> SimStats:
+                  variant: Optional[str] = None,
+                  backend: Optional[object] = None) -> SimStats:
     """Simulate one benchmark under one machine configuration.
 
     ``shards > 1`` runs the checkpointed-slice engine serially (the
     parallel slice scheduling lives in :func:`run_suite`); ``shards=1``
     is the plain, bit-exact whole-program simulation.  ``variant``
     re-targets the configuration at a registered machine variant
-    (equivalent to ``config.with_variant(variant)``).
+    (equivalent to ``config.with_variant(variant)``).  ``backend`` routes
+    the job through a named or instantiated
+    :class:`~repro.distrib.backend.ExecutionBackend` -- e.g.
+    ``"distributed"`` publishes it to the shared work queue.
     """
     scale = default_scale() if scale is None else scale
     shards = default_shards(shards)
     if variant is not None:
         config = config.with_variant(validate_variant(variant))
-    if shards > 1:
+    if shards > 1 or backend is not None:
         results = run_suite([benchmark], {"_": config}, scale=scale,
-                            jobs=1, use_cache=use_cache, shards=shards)
+                            jobs=1, use_cache=use_cache, shards=shards,
+                            backend=backend)
         return results["_"][benchmark]
     if not use_cache:
         return _simulate(benchmark, config, scale)
@@ -381,99 +398,54 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def _execute_jobs(jobs_list: List[Tuple[int, _Job]], jobs: int,
-                  use_cache: bool) -> Dict[str, SimStats]:
-    """Run every job, longest first, and return ``{key: stats}``.
+@dataclass
+class SuitePlan:
+    """One suite's worth of planned work, before any job executes.
 
-    With ``jobs > 1`` the work goes to a process pool via
-    ``imap_unordered``: results are consumed as they finish (no barrier on
-    the slowest job) and the longest-first submission order lets short jobs
-    backfill idle workers instead of queueing behind stragglers.
+    Produced by :func:`plan_suite` and consumed by :func:`finish_suite`;
+    in between, ``jobs_list`` goes to whichever
+    :class:`~repro.distrib.backend.ExecutionBackend` the caller selected.
+    Splitting planning from execution is what lets ``repro submit``
+    publish a sweep's jobs to the distributed queue *without* waiting for
+    the results: the plan's cache probes have already filtered out
+    everything a previous (or concurrent) run resolved.
     """
-    ordered = [job for _, job in
-               sorted(jobs_list, key=lambda item: item[0], reverse=True)]
-    outcomes: Dict[str, SimStats] = {}
-    if jobs > 1 and len(ordered) > 1:
-        ctx = _pool_context()
-        with ctx.Pool(processes=min(jobs, len(ordered))) as pool:
-            for key, simulated, stats in pool.imap_unordered(
-                    _pool_worker, ordered):
-                if simulated:
-                    telemetry.simulations += 1
-                else:
-                    telemetry.disk_hits += 1
-                if use_cache:
-                    # The worker already persisted to disk.
-                    _cache_store(key, stats, to_disk=False)
-                outcomes[key] = stats
-    else:
-        # One Program instance per benchmark: slice jobs of the same
-        # benchmark (across every config) share it instead of regenerating.
-        programs: Dict[Tuple[str, float], object] = {}
-        for job in ordered:
-            key, benchmark, config, scale, _, slice_spec, checkpoint = job
-            if slice_spec is None:
-                stats = _simulate(benchmark, config, scale)
-            else:
-                program = programs.get((benchmark, scale))
-                if program is None:
-                    program = build_workload(benchmark, scale=scale)
-                    programs[(benchmark, scale)] = program
-                telemetry.simulations += 1
-                stats = sharding.simulate_slice(program, config, slice_spec,
-                                                checkpoint, name=benchmark)
-            if use_cache:
-                _cache_store(key, stats)
-            outcomes[key] = stats
-    return outcomes
+
+    scale: float
+    shards: int
+    use_cache: bool
+    #: Pre-filled from cache: results[config_name][benchmark] -> SimStats.
+    results: Dict[str, Dict[str, SimStats]]
+    #: content key -> every (config name, benchmark) cell it resolves.
+    placements: Dict[str, List[Tuple[str, str]]]
+    #: (key, benchmark, config) still needing work (merged key if sharded).
+    pending: List[Tuple[str, str, MachineConfig]]
+    #: (estimated work, job) pairs for the backend, one per simulation.
+    jobs_list: List[Tuple[int, _Job]]
+    #: sharded only: slice cache key -> (merged key, slice index).
+    slice_of: Dict[str, Tuple[str, int]]
+    #: sharded only: merged key -> {slice index: stats} already cached.
+    gathered: Dict[str, Dict[int, SimStats]]
+
+    @property
+    def job_count(self) -> int:
+        return len(self.jobs_list)
 
 
-def run_suite(benchmarks: Iterable[str],
-              configs: Mapping[str, MachineConfig],
-              scale: Optional[float] = None,
-              jobs: Optional[int] = None,
-              use_cache: bool = True,
-              shards: Optional[int] = None,
-              warmup_fraction: Optional[float] = None,
-              variant: Optional[str] = None,
-              ) -> Dict[str, Dict[str, SimStats]]:
-    """Run every benchmark under every named configuration.
+def plan_suite(benchmarks: Iterable[str],
+               configs: Mapping[str, MachineConfig],
+               scale: float,
+               shards: int,
+               warmup_fraction: float,
+               use_cache: bool) -> SuitePlan:
+    """Plan a suite: dedupe cells, probe the caches, expand slices.
 
-    Returns ``results[config_name][benchmark] -> SimStats``.  With
-    ``jobs > 1`` the uncached jobs run on a process pool; results are
-    bit-identical to the serial path because simulation is deterministic.
-    Identical configurations registered under different names are
-    deduplicated and simulated once.
-
-    ``shards > 1`` splits every benchmark into that many checkpointed
-    slices which are scheduled as independent jobs (see
-    :mod:`repro.experiments.sharding`): per-slice results are cached under
-    content keys of their own, checkpoints are built once per benchmark and
-    shared across every config, and the merged stats are cached under a
-    shard-aware key so they can never shadow an unsharded result.
-
-    ``variant`` re-targets every configuration at one registered machine
-    variant (a convenience over calling ``with_variant`` on each); ``None``
-    leaves the per-config ``variant`` fields -- which may deliberately
-    differ, as in the scenario matrix -- untouched.  Either way the variant
-    rides inside the config, so worker jobs, slice keys and the result
-    cache distinguish variants with no further plumbing: the variant
-    participates in ``MachineConfig.fingerprint()``.  Checkpoint plans stay
-    variant-independent (the architectural stream is shared by every
-    variant) and are reused across the whole matrix.
+    Every argument is already resolved (no env fallbacks here).  The
+    returned plan's ``jobs_list`` contains exactly the simulations no
+    cache could answer, with sharded benchmarks expanded into per-slice
+    jobs parameterised by their checkpoint.
     """
     benchmarks = list(benchmarks)
-    configs = apply_variant(configs, variant)
-    # Validate every config's variant up front: an unregistered name must
-    # abort here with the one-line error, not kill a pool worker later.
-    for config in configs.values():
-        validate_variant(config.variant)
-    scale = default_scale() if scale is None else scale
-    jobs = default_jobs(jobs)
-    shards = default_shards(shards)
-    if warmup_fraction is None:
-        warmup_fraction = default_warmup_fraction()
-
     results: Dict[str, Dict[str, SimStats]] = {name: {} for name in configs}
     # One simulation per unique content key, however many names point at it.
     placements: Dict[str, List[Tuple[str, str]]] = {}
@@ -497,64 +469,141 @@ def run_suite(benchmarks: Iterable[str],
             for config_name, bench in placements[key]:
                 results[config_name][bench] = stats
 
+    plan = SuitePlan(scale=scale, shards=shards, use_cache=use_cache,
+                     results=results, placements=placements,
+                     pending=pending, jobs_list=[], slice_of={},
+                     gathered={})
     if not pending:
-        return results
+        return plan
 
     if shards <= 1:
-        jobs_list = [
+        plan.jobs_list = [
             (estimate_dynamic_insts(benchmark, scale),
              (key, benchmark, config, scale, use_cache, None, None))
             for key, benchmark, config in pending]
-        outcomes = _execute_jobs(jobs_list, jobs, use_cache)
-        for key, _, _ in pending:
-            stats = outcomes[key]
-            for config_name, bench in placements[key]:
-                results[config_name][bench] = stats
-        return results
+        return plan
 
     # ------------------------------------------------------------------
     # sharded path: expand each pending benchmark x config into slices
     # ------------------------------------------------------------------
     disk = _disk_cache() if use_cache else None
-    plans: Dict[str, sharding.ShardPlan] = {}
+    shard_plans: Dict[str, sharding.ShardPlan] = {}
     for _, benchmark, _ in pending:
-        if benchmark not in plans:
-            plans[benchmark] = sharding.build_plan(
+        if benchmark not in shard_plans:
+            shard_plans[benchmark] = sharding.build_plan(
                 benchmark, scale, shards, warmup_fraction, cache=disk)
 
-    # slice cache key -> (merged key, slice index); slice results by run.
-    slice_of: Dict[str, Tuple[str, int]] = {}
-    gathered: Dict[str, Dict[int, SimStats]] = {key: {}
-                                                for key, _, _ in pending}
-    jobs_list = []
+    plan.gathered = {key: {} for key, _, _ in pending}
     for key, benchmark, config in pending:
-        plan = plans[benchmark]
-        for spec in plan.slices:
+        shard_plan = shard_plans[benchmark]
+        for spec in shard_plan.slices:
             skey = sharding.slice_key(benchmark, scale, config, shards,
                                       warmup_fraction, spec.index)
-            slice_of[skey] = (key, spec.index)
+            plan.slice_of[skey] = (key, spec.index)
             stats = _cache_lookup(skey) if use_cache else None
             if stats is None:
-                jobs_list.append(
+                plan.jobs_list.append(
                     (spec.work,
                      (skey, benchmark, config, scale, use_cache, spec,
-                      plan.checkpoint_for(spec))))
+                      shard_plan.checkpoint_for(spec))))
             else:
-                gathered[key][spec.index] = stats
+                plan.gathered[key][spec.index] = stats
+    return plan
 
-    if jobs_list:
-        simulated_before = telemetry.simulations
-        outcomes = _execute_jobs(jobs_list, jobs, use_cache)
-        telemetry.slices_simulated += telemetry.simulations - simulated_before
-        for skey, stats in outcomes.items():
-            key, index = slice_of[skey]
-            gathered[key][index] = stats
 
-    for key, benchmark, config in pending:
-        parts = [stats for _, stats in sorted(gathered[key].items())]
+def finish_suite(plan: SuitePlan,
+                 outcomes: Mapping[str, SimStats]) -> Dict[str, Dict[str, SimStats]]:
+    """Assemble a plan plus its backend outcomes into suite results.
+
+    For sharded plans this is where slices merge (and the merged result is
+    cached under its shard-aware key) -- workers only ever compute slices,
+    so the submit side owns the merge whichever backend ran the jobs.
+    """
+    if not plan.pending:
+        return plan.results
+    if plan.shards <= 1:
+        for key, _, _ in plan.pending:
+            stats = outcomes[key]
+            for config_name, bench in plan.placements[key]:
+                plan.results[config_name][bench] = stats
+        return plan.results
+
+    for skey, stats in outcomes.items():
+        key, index = plan.slice_of[skey]
+        plan.gathered[key][index] = stats
+    for key, benchmark, config in plan.pending:
+        parts = [stats for _, stats in sorted(plan.gathered[key].items())]
         merged = sharding.merge_slices(parts)
-        if use_cache:
+        if plan.use_cache:
             _cache_store(key, merged)
-        for config_name, bench in placements[key]:
-            results[config_name][bench] = merged
-    return results
+        for config_name, bench in plan.placements[key]:
+            plan.results[config_name][bench] = merged
+    return plan.results
+
+
+def run_suite(benchmarks: Iterable[str],
+              configs: Mapping[str, MachineConfig],
+              scale: Optional[float] = None,
+              jobs: Optional[int] = None,
+              use_cache: bool = True,
+              shards: Optional[int] = None,
+              warmup_fraction: Optional[float] = None,
+              variant: Optional[str] = None,
+              backend: Optional[object] = None,
+              ) -> Dict[str, Dict[str, SimStats]]:
+    """Run every benchmark under every named configuration.
+
+    Returns ``results[config_name][benchmark] -> SimStats``.  Every
+    uncached job is routed through an execution backend (see
+    :mod:`repro.distrib.backend`): ``backend`` may be an instance or one
+    of the names ``serial``/``pool``/``distributed``, ``None`` falls back
+    to ``REPRO_BACKEND`` and finally to the classic choice implied by
+    ``jobs`` -- a process pool when ``jobs > 1``, else in-process serial
+    execution.  Results are bit-identical across backends because
+    simulation is deterministic; the distributed backend publishes jobs to
+    the shared filesystem queue where any fleet of ``repro worker``
+    processes (sharing ``REPRO_CACHE_DIR``) drains them.  Identical
+    configurations registered under different names are deduplicated and
+    simulated once.
+
+    ``shards > 1`` splits every benchmark into that many checkpointed
+    slices which are scheduled as independent jobs (see
+    :mod:`repro.experiments.sharding`): per-slice results are cached under
+    content keys of their own, checkpoints are built once per benchmark and
+    shared across every config, and the merged stats are cached under a
+    shard-aware key so they can never shadow an unsharded result.
+
+    ``variant`` re-targets every configuration at one registered machine
+    variant (a convenience over calling ``with_variant`` on each); ``None``
+    leaves the per-config ``variant`` fields -- which may deliberately
+    differ, as in the scenario matrix -- untouched.  Either way the variant
+    rides inside the config, so worker jobs, slice keys and the result
+    cache distinguish variants with no further plumbing: the variant
+    participates in ``MachineConfig.fingerprint()``.  Checkpoint plans stay
+    variant-independent (the architectural stream is shared by every
+    variant) and are reused across the whole matrix.
+    """
+    from repro.distrib.backend import resolve_backend
+
+    configs = apply_variant(configs, variant)
+    # Validate every config's variant up front: an unregistered name must
+    # abort here with the one-line error, not kill a pool worker later.
+    for config in configs.values():
+        validate_variant(config.variant)
+    scale = default_scale() if scale is None else scale
+    jobs = default_jobs(jobs)
+    shards = default_shards(shards)
+    if warmup_fraction is None:
+        warmup_fraction = default_warmup_fraction()
+
+    plan = plan_suite(benchmarks, configs, scale, shards, warmup_fraction,
+                      use_cache)
+    outcomes: Mapping[str, SimStats] = {}
+    if plan.jobs_list:
+        exec_backend = resolve_backend(backend, jobs)
+        simulated_before = telemetry.simulations
+        outcomes = exec_backend.execute(plan.jobs_list, use_cache)
+        if shards > 1:
+            telemetry.slices_simulated += (telemetry.simulations
+                                           - simulated_before)
+    return finish_suite(plan, outcomes)

@@ -78,20 +78,23 @@ def run(benchmarks: Optional[Iterable[str]] = None,
         scale: Optional[float] = None,
         machine: Optional[MachineConfig] = None,
         jobs: Optional[int] = None,
-        shards: Optional[int] = None) -> ScenarioMatrixResult:
-    """Sweep (benchmark x variant) on one pool.
+        shards: Optional[int] = None,
+        backend: Optional[object] = None) -> ScenarioMatrixResult:
+    """Sweep (benchmark x variant) on one backend.
 
     ``variants`` defaults to every registered variant.  One ``run_suite``
     call carries the whole matrix, so scheduling interleaves all variants
     (longest jobs first) and, with sharding, every variant reuses the same
-    per-benchmark checkpoint plans.
+    per-benchmark checkpoint plans.  ``backend`` routes the matrix's jobs
+    through any :class:`~repro.distrib.backend.ExecutionBackend` --
+    ``"distributed"`` spreads the whole matrix over a worker fleet.
     """
     benchmarks = list(benchmarks or FAST_BENCHMARKS)
     variants = list(variants or variant_names())
     machine = machine or MachineConfig()
     configs = {name: machine.with_variant(name) for name in variants}
     suite = run_suite(benchmarks, configs, scale=scale, jobs=jobs,
-                      shards=shards)
+                      shards=shards, backend=backend)
     return ScenarioMatrixResult(benchmarks=benchmarks, variants=variants,
                                 results=suite)
 

@@ -81,6 +81,18 @@ class SliceSpec:
         """Detailed-simulation work in instructions (warm-up + counted)."""
         return self.warmup + self.budget
 
+    # The distributed job queue ships slices inside self-contained JSON
+    # payloads (see :mod:`repro.distrib.worker`).
+    def to_dict(self) -> Dict[str, int]:
+        return {"index": self.index, "start": self.start,
+                "boundary": self.boundary, "budget": self.budget}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SliceSpec":
+        return cls(index=int(data["index"]), start=int(data["start"]),
+                   boundary=int(data["boundary"]),
+                   budget=int(data["budget"]))
+
 
 @dataclass(frozen=True)
 class ShardPlan:
