@@ -4,19 +4,28 @@
 Usage::
 
     python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
-        [--threshold 1.25]
+        [--threshold 1.25] [--max-regression 1.10]
 
 Compares mean wall-clock per benchmark *name* (only names present in both
-files -- newly added benchmarks are listed but not judged).  Exits non-zero
-if any common benchmark got slower than ``threshold x`` the baseline mean,
-so CI can flag the regression; machine-to-machine noise means this is a
-tripwire, not a precision instrument, hence the generous default threshold.
+files -- newly added benchmarks are listed but not judged) and prints the
+geometric-mean speedup of current over baseline across the common set.
+Exits non-zero if
+
+* any common benchmark got slower than ``threshold x`` the baseline mean
+  (per-benchmark tripwire), or
+* ``--max-regression R`` is given and the geomean ``current/baseline``
+  ratio exceeds ``R`` (aggregate tripwire: individual noise cancels in the
+  geomean, so this threshold can be much tighter than ``--threshold``).
+
+Machine-to-machine noise means the per-benchmark check is a tripwire, not a
+precision instrument, hence its generous default.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -27,13 +36,29 @@ def load_means(path: str) -> dict:
             for bench in data.get("benchmarks", [])}
 
 
+def geomean_ratio(baseline: dict, current: dict, common) -> float:
+    """Geometric mean of ``current/baseline`` over the common benchmarks."""
+    log_sum = 0.0
+    counted = 0
+    for name in common:
+        if baseline[name] > 0 and current[name] > 0:
+            log_sum += math.log(current[name] / baseline[name])
+            counted += 1
+    return math.exp(log_sum / counted) if counted else 1.0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=1.25,
-                        help="fail when current mean > threshold x baseline "
-                             "(default: 1.25)")
+                        help="fail when any current mean > threshold x its "
+                             "baseline (default: 1.25)")
+    parser.add_argument("--max-regression", type=float, default=None,
+                        metavar="R",
+                        help="fail when the geomean current/baseline ratio "
+                             "exceeds R (e.g. 1.10 allows a 10%% aggregate "
+                             "slowdown); off by default")
     args = parser.parse_args()
 
     baseline = load_means(args.baseline)
@@ -57,12 +82,28 @@ def main() -> int:
     if not common:
         print("no common benchmarks between the two files", file=sys.stderr)
         return 0
+
+    ratio = geomean_ratio(baseline, current, common)
+    speedup = 1.0 / ratio if ratio else 0.0
+    print(f"\ngeomean speedup (baseline/current) over {len(common)} common "
+          f"benchmark(s): {speedup:.2f}x "
+          f"(geomean current/baseline ratio: {ratio:.3f})")
+
+    failed = False
     if regressions:
-        print(f"\n{len(regressions)} benchmark(s) slower than "
+        print(f"{len(regressions)} benchmark(s) slower than "
               f"{args.threshold:.2f}x baseline", file=sys.stderr)
+        failed = True
+    if args.max_regression is not None and ratio > args.max_regression:
+        print(f"geomean ratio {ratio:.3f} exceeds --max-regression "
+              f"{args.max_regression:.2f}", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print(f"\nok: {len(common)} common benchmark(s) within "
-          f"{args.threshold:.2f}x of baseline")
+    print(f"ok: {len(common)} common benchmark(s) within "
+          f"{args.threshold:.2f}x of baseline"
+          + (f", geomean within {args.max_regression:.2f}x"
+             if args.max_regression is not None else ""))
     return 0
 
 

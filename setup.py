@@ -1,5 +1,25 @@
-"""Packaging shim for legacy tooling; all metadata lives in pyproject.toml."""
+"""Packaging shim; all metadata lives in pyproject.toml.
 
-from setuptools import setup
+The one thing that cannot be expressed declaratively is the *optional*
+compiled kernel: ``repro/core/_kernel.c`` holds C implementations of the
+scheduler inner loops (see ``repro/core/kernel.py`` for the
+``REPRO_KERNEL`` backend contract).  ``optional=True`` makes the build
+best-effort -- on a machine without a C toolchain the extension is simply
+skipped and the engine runs its pure-Python loops, bit-identically.
 
-setup()
+Build it in place for development with::
+
+    python setup.py build_ext --inplace
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.core._kernel",
+            sources=["src/repro/core/_kernel.c"],
+            optional=True,
+        ),
+    ],
+)

@@ -327,9 +327,20 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
     from repro.analysis import profiling
     from repro.core import MachineConfig
     from repro.experiments import runner
+
+    if args.diff is not None:
+        before_path, after_path = args.diff
+        with open(before_path, "r", encoding="utf-8") as fh:
+            before = json.load(fh)
+        with open(after_path, "r", encoding="utf-8") as fh:
+            after = json.load(fh)
+        print(profiling.diff_reports(before, after))
+        return 0
 
     benchmarks = _parse_benchmarks(args.benchmarks)
     scale = runner.default_scale() if args.scale is None else args.scale
@@ -340,6 +351,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     result = profiling.profile_simulate(benchmarks, scale, config=config,
                                         top_n=args.top)
     print(profiling.report(result))
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(profiling.to_dict(result), fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -542,6 +558,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--top", type=int, default=15, metavar="N",
                         help="rows in the cumulative-time table "
                              "(default: 15)")
+    p_prof.add_argument("--json", default=None, metavar="OUT",
+                        help="also write the profile as JSON for later "
+                             "--diff comparison")
+    p_prof.add_argument("--diff", nargs=2, default=None,
+                        metavar=("BEFORE.json", "AFTER.json"),
+                        help="compare two --json files hot line by hot "
+                             "line instead of profiling")
     p_prof.set_defaults(func=_cmd_profile)
 
     p_var = sub.add_parser("variants",

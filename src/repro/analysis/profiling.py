@@ -1,16 +1,28 @@
 """cProfile harness over ``simulate()`` -- the ``repro profile`` command.
 
-The ROADMAP's hot-path item names the per-cycle inner loops --
-``IssueExecute._execute`` (and its load/store split) and the
-:class:`~repro.core.lsq.LoadStoreQueue` indices -- as where simulation time
-goes.  This module profiles one or more benchmarks through the real
+This module profiles one or more benchmarks through the real
 :func:`repro.core.simulate` entry point (caches deliberately bypassed: a
 profile of cache hits is useless) and reports
 
-* the top-N functions by cumulative time, and
-* a pinned *hot-path highlights* section extracting exactly those
-  scheduler/LSQ functions, so successive PRs can diff like against like
+* the top-N functions by cumulative time,
+* a pinned *hot-path highlights* section extracting the per-cycle inner
+  loops (issue/execute, LSQ indices, scheduler select/wakeup, the rename
+  and commit stage bodies), so successive PRs can diff like against like
   without fishing them out of the full table.
+
+The highlight set is resolved from the **live code objects** -- each entry
+is looked up as an attribute on the owning class and its
+``__code__.co_filename``/``co_name`` are matched against the profiler's
+records.  A function that is renamed or folded into a caller simply drops
+out of the pin list instead of leaving a stale pattern that silently
+matches nothing (which is how an earlier hard-coded table ended up
+printing an empty highlights section after the structure-of-arrays
+rewrite).
+
+``to_dict``/``diff_reports`` serialise a run to JSON and compare two such
+files hot line by hot line (``repro profile --json`` / ``--diff``).  Rows
+are keyed by ``module.py(function)`` -- no line numbers, so a diff
+survives unrelated edits that shift code around.
 
 Pure stdlib (``cProfile``/``pstats``), so the command works everywhere the
 simulator does.
@@ -27,23 +39,42 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core import MachineConfig, simulate
 from repro.workloads import build_workload
 
-#: (module suffix, function name) patterns pinned in the highlights
-#: section: the issue/execute inner loop and the LSQ index operations.
-HOT_PATH_FUNCTIONS: Tuple[Tuple[str, str], ...] = (
-    ("stages/execute.py", "_execute"),
-    ("stages/execute.py", "_execute_load"),
-    ("stages/execute.py", "_execute_store"),
-    ("stages/execute.py", "tick"),
-    ("core/lsq.py", "forward_from"),
-    ("core/lsq.py", "older_stores_unresolved"),
-    ("core/lsq.py", "older_store_conflict_possible"),
-    ("core/lsq.py", "resolve_store"),
-    ("core/lsq.py", "record_load"),
-    ("core/lsq.py", "insert"),
-    ("core/lsq.py", "remove"),
-    ("core/scheduler.py", "select"),
-    ("core/scheduler.py", "wakeup"),
-)
+#: Schema tag written into ``repro profile --json`` files.
+JSON_SCHEMA = 1
+
+
+def hot_path_targets() -> Tuple[Tuple[str, str], ...]:
+    """The pinned hot-path functions as live ``(filename, name)`` pairs.
+
+    Resolved at call time from the classes that own the per-cycle inner
+    loops; attributes that no longer exist are skipped, so the pin list
+    tracks refactors automatically.
+    """
+    from repro.core.lsq import LoadStoreQueue
+    from repro.core.scheduler import ReservationStations
+    from repro.core.stages.commit import CommitDiva
+    from repro.core.stages.execute import IssueExecute
+    from repro.core.stages.frontend import FrontEnd
+    from repro.core.stages.rename import RenameIntegrate
+
+    wanted = (
+        (IssueExecute, ("tick", "writeback", "_execute", "_execute_load",
+                        "_execute_store", "_load_can_issue")),
+        (LoadStoreQueue, ("forward_from", "older_stores_unresolved",
+                          "older_store_conflict_possible", "resolve_store",
+                          "record_load", "insert", "remove")),
+        (ReservationStations, ("select", "wakeup", "insert")),
+        (RenameIntegrate, ("tick", "_rename_one")),
+        (CommitDiva, ("tick", "_retire_commit")),
+        (FrontEnd, ("tick",)),
+    )
+    targets: List[Tuple[str, str]] = []
+    for cls, names in wanted:
+        for name in names:
+            code = getattr(getattr(cls, name, None), "__code__", None)
+            if code is not None:
+                targets.append((code.co_filename, code.co_name))
+    return tuple(targets)
 
 
 @dataclass
@@ -54,6 +85,12 @@ class FunctionProfile:
     calls: int
     total_time: float     # self time, seconds
     cumulative: float     # including callees, seconds
+    key: str = ""         # "module.py(function)" -- line-number free
+
+    def to_dict(self) -> dict:
+        return {"where": self.where, "key": self.key, "calls": self.calls,
+                "total_time": self.total_time,
+                "cumulative": self.cumulative}
 
 
 @dataclass
@@ -84,15 +121,8 @@ def _rows_from_stats(stats: pstats.Stats) -> Dict[Tuple[str, int, str],
         rows[func] = FunctionProfile(
             where=f"{short}:{line}({name})",
             calls=int(ncalls), total_time=float(tottime),
-            cumulative=float(cumtime))
+            cumulative=float(cumtime), key=f"{short}({name})")
     return rows
-
-
-def _is_highlight(func: Tuple[str, int, str]) -> bool:
-    filename, _line, name = func
-    normalized = filename.replace("\\", "/")
-    return any(normalized.endswith(suffix) and name == target
-               for suffix, target in HOT_PATH_FUNCTIONS)
 
 
 def profile_simulate(benchmarks: Iterable[str],
@@ -129,8 +159,10 @@ def profile_simulate(benchmarks: Iterable[str],
     wall = float(getattr(pstats_obj, "total_tt", 0.0))
     if by_cumulative:
         wall = max(wall, by_cumulative[0][1].cumulative)
+    targets = set(hot_path_targets())
     top = [row for func, row in by_cumulative[:max(1, top_n)]]
-    highlights = [row for func, row in by_cumulative if _is_highlight(func)]
+    highlights = [row for (filename, _line, name), row in by_cumulative
+                  if (filename, name) in targets]
     return ProfileResult(
         benchmarks=benchmarks, scale=scale, variant=config.variant,
         wall_seconds=wall, retired=retired, cycles=cycles,
@@ -158,6 +190,77 @@ def report(result: ProfileResult) -> str:
     top = _table(result.top, result.wall_seconds,
                  f"\ntop {len(result.top)} by cumulative time")
     hot = _table(result.highlights, result.wall_seconds,
-                 "\nhot-path highlights (IssueExecute + LSQ/scheduler "
-                 "indices)")
+                 "\nhot-path highlights (per-cycle stage bodies + "
+                 "LSQ/scheduler indices)")
     return "\n".join((head, top, hot))
+
+
+# ----------------------------------------------------------------------
+# JSON serialisation and before/after diffing
+# ----------------------------------------------------------------------
+def to_dict(result: ProfileResult) -> dict:
+    """Serialise a run for ``repro profile --json``."""
+    return {
+        "schema": JSON_SCHEMA,
+        "benchmarks": result.benchmarks,
+        "scale": result.scale,
+        "variant": result.variant,
+        "wall_seconds": result.wall_seconds,
+        "retired": result.retired,
+        "cycles": result.cycles,
+        "top": [row.to_dict() for row in result.top],
+        "highlights": [row.to_dict() for row in result.highlights],
+    }
+
+
+def diff_reports(before: dict, after: dict) -> str:
+    """Hot-line comparison of two ``repro profile --json`` files.
+
+    Rows are joined on the line-number-free ``key``; the union of both
+    files' top and highlight sections is compared so a function that fell
+    out of (or newly entered) the top-N still shows up.  Sorted by the
+    absolute change in cumulative seconds, biggest movement first.
+    """
+    def rows_by_key(data: dict) -> Dict[str, dict]:
+        merged: Dict[str, dict] = {}
+        for row in list(data.get("top", [])) + list(data.get("highlights",
+                                                             [])):
+            merged[row["key"]] = row
+        return merged
+
+    rows_a = rows_by_key(before)
+    rows_b = rows_by_key(after)
+    keys = set(rows_a) | set(rows_b)
+
+    def delta(key: str) -> float:
+        a = rows_a.get(key, {}).get("cumulative", 0.0)
+        b = rows_b.get(key, {}).get("cumulative", 0.0)
+        return b - a
+
+    lines = [
+        f"profile diff: {', '.join(before.get('benchmarks', []))} "
+        f"@{before.get('scale', '?')} -> "
+        f"{', '.join(after.get('benchmarks', []))} "
+        f"@{after.get('scale', '?')}",
+        f"wall: {before.get('wall_seconds', 0.0):.3f}s -> "
+        f"{after.get('wall_seconds', 0.0):.3f}s   cycles: "
+        f"{before.get('cycles', 0)} -> {after.get('cycles', 0)}",
+        "",
+        f"{'before s':>10} {'after s':>10} {'delta s':>10} {'ratio':>7}  "
+        f"hot line",
+        "-" * 78,
+    ]
+    for key in sorted(keys, key=lambda k: -abs(delta(k))):
+        a = rows_a.get(key)
+        b = rows_b.get(key)
+        cum_a = a["cumulative"] if a else 0.0
+        cum_b = b["cumulative"] if b else 0.0
+        if a and b:
+            ratio = f"{cum_b / cum_a:6.2f}x" if cum_a else "      -"
+        elif a:
+            ratio = "   gone"
+        else:
+            ratio = "    new"
+        lines.append(f"{cum_a:>10.4f} {cum_b:>10.4f} {cum_b - cum_a:>+10.4f} "
+                     f"{ratio}  {key}")
+    return "\n".join(lines)

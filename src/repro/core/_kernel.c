@@ -1,0 +1,240 @@
+/* Compiled inner loops for the cycle-level engine (REPRO_KERNEL=compiled).
+ *
+ * The pure-Python implementations in repro/core/scheduler.py are the
+ * reference semantics; this module reimplements the two per-cycle loops that
+ * dominate scheduler time -- issue selection over the ready pool and the
+ * wakeup walk over a register's watcher list -- against the same
+ * structure-of-arrays Window state.  Behaviour must stay bit-identical:
+ * every guard below mirrors the Python code line for line, including the
+ * order of the load-issue side-effect check relative to the port-limit
+ * checks.
+ *
+ * Built opportunistically by setup.py (Extension(optional=True)); the
+ * loader in repro/core/kernel.py verifies the layout constants baked in
+ * here against repro/core/window.py before activating the backend and
+ * falls back to pure Python on any mismatch.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <stdlib.h>
+
+/* Mirrors of repro.core.window constants (checked by kernel.py). */
+#define SEQ_BITS 48
+#define SEQ_MASK (((long long)1 << SEQ_BITS) - 1)
+#define PORT_LOAD 2
+
+static int
+cmp_longlong(const void *a, const void *b)
+{
+    const long long x = *(const long long *)a;
+    const long long y = *(const long long *)b;
+    return (x > y) - (x < y);
+}
+
+/* select_ready(ready, waiting, sort_key, port, mask, limits, width,
+ *              combined, load_can_issue) -> list[DynInst]
+ *
+ * The PRF-bound fast path of ReservationStations.select: sort the
+ * precomputed (priority << SEQ_BITS) | seq keys of the ready pool, walk
+ * them oldest-highest-priority first applying the issue-width, load-issue
+ * and per-port limits, and remove the chosen instructions from both pools.
+ */
+static PyObject *
+kernel_select_ready(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *ready, *waiting, *sort_key, *port, *limits_obj, *load_can_issue;
+    long long mask;
+    long width;
+    int combined;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!LO!liO:select_ready",
+                          &PyDict_Type, &ready, &PyDict_Type, &waiting,
+                          &PyList_Type, &sort_key, &PyList_Type, &port,
+                          &mask, &PyList_Type, &limits_obj, &width,
+                          &combined, &load_can_issue))
+        return NULL;
+
+    PyObject *selected = PyList_New(0);
+    if (selected == NULL)
+        return NULL;
+    const Py_ssize_t n = PyDict_Size(ready);
+    if (n == 0)
+        return selected;
+
+    long long *keys = PyMem_Malloc((size_t)n * sizeof(long long));
+    long long *chosen = PyMem_Malloc((size_t)n * sizeof(long long));
+    if (keys == NULL || chosen == NULL) {
+        PyMem_Free(keys);
+        PyMem_Free(chosen);
+        Py_DECREF(selected);
+        return PyErr_NoMemory();
+    }
+
+    Py_ssize_t pos = 0, i = 0;
+    PyObject *key_obj, *value_obj;
+    while (PyDict_Next(ready, &pos, &key_obj, &value_obj) && i < n) {
+        const long long seq = PyLong_AsLongLong(key_obj);
+        if (seq == -1 && PyErr_Occurred())
+            goto fail;
+        keys[i] = PyLong_AsLongLong(
+            PyList_GET_ITEM(sort_key, (Py_ssize_t)(seq & mask)));
+        if (keys[i] == -1 && PyErr_Occurred())
+            goto fail;
+        i++;
+    }
+    qsort(keys, (size_t)i, sizeof(long long), cmp_longlong);
+
+    long limits[4], counts[4] = {0, 0, 0, 0};
+    for (int p = 0; p < 4; p++) {
+        limits[p] = PyLong_AsLong(PyList_GET_ITEM(limits_obj, p));
+        if (limits[p] == -1 && PyErr_Occurred())
+            goto fail;
+    }
+
+    Py_ssize_t n_chosen = 0;
+    const Py_ssize_t total = i;
+    for (i = 0; i < total; i++) {
+        if (n_chosen >= width)
+            break;
+        const long long seq = keys[i] & SEQ_MASK;
+        const long code = PyLong_AsLong(
+            PyList_GET_ITEM(port, (Py_ssize_t)(seq & mask)));
+        if (code == -1 && PyErr_Occurred())
+            goto fail;
+        PyObject *seq_boxed = PyLong_FromLongLong(seq);
+        if (seq_boxed == NULL)
+            goto fail;
+        PyObject *dyn = PyDict_GetItemWithError(waiting, seq_boxed);
+        if (dyn == NULL) {
+            Py_DECREF(seq_boxed);
+            if (!PyErr_Occurred())
+                PyErr_Format(PyExc_KeyError,
+                             "ready seq %lld missing from waiting pool", seq);
+            goto fail;
+        }
+        Py_DECREF(seq_boxed);
+        /* Same check order as the Python loop: the load-issue probe runs
+         * (and records its collision-history side effects) before the
+         * combined-port and per-port limit tests. */
+        if (code == PORT_LOAD) {
+            PyObject *ok = PyObject_CallOneArg(load_can_issue, dyn);
+            if (ok == NULL)
+                goto fail;
+            const int truth = PyObject_IsTrue(ok);
+            Py_DECREF(ok);
+            if (truth < 0)
+                goto fail;
+            if (!truth)
+                continue;
+        }
+        if (combined && code >= PORT_LOAD && counts[2] + counts[3] >= 1)
+            continue;
+        if (counts[code] >= limits[code])
+            continue;
+        counts[code]++;
+        if (PyList_Append(selected, dyn) < 0)
+            goto fail;
+        chosen[n_chosen++] = seq;
+    }
+
+    for (i = 0; i < n_chosen; i++) {
+        PyObject *seq_boxed = PyLong_FromLongLong(chosen[i]);
+        if (seq_boxed == NULL)
+            goto fail;
+        if (PyDict_DelItem(waiting, seq_boxed) < 0 ||
+            PyDict_DelItem(ready, seq_boxed) < 0) {
+            Py_DECREF(seq_boxed);
+            goto fail;
+        }
+        Py_DECREF(seq_boxed);
+    }
+
+    PyMem_Free(keys);
+    PyMem_Free(chosen);
+    return selected;
+
+fail:
+    PyMem_Free(keys);
+    PyMem_Free(chosen);
+    Py_DECREF(selected);
+    return NULL;
+}
+
+/* wakeup(watchers, waiting, ready, pending, mask) -> None
+ *
+ * One physical register became ready: decrement the pending-source count
+ * of every live watcher and promote the ones that reached zero into the
+ * ready pool.  Mirrors ReservationStations.wakeup after the watcher-list
+ * pop (which stays in Python).
+ */
+static PyObject *
+kernel_wakeup(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *watchers, *waiting, *ready, *pending;
+    long long mask;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!L:wakeup",
+                          &PyList_Type, &watchers, &PyDict_Type, &waiting,
+                          &PyDict_Type, &ready, &PyList_Type, &pending,
+                          &mask))
+        return NULL;
+
+    const Py_ssize_t n = PyList_GET_SIZE(watchers);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *seq_obj = PyList_GET_ITEM(watchers, i);
+        PyObject *dyn = PyDict_GetItemWithError(waiting, seq_obj);
+        if (dyn == NULL) {
+            if (PyErr_Occurred())
+                return NULL;
+            continue;  /* already issued or squashed */
+        }
+        const long long seq = PyLong_AsLongLong(seq_obj);
+        if (seq == -1 && PyErr_Occurred())
+            return NULL;
+        const Py_ssize_t slot = (Py_ssize_t)(seq & mask);
+        const long left = PyLong_AsLong(PyList_GET_ITEM(pending, slot)) - 1;
+        if (left == -2 && PyErr_Occurred())
+            return NULL;
+        PyObject *left_obj = PyLong_FromLong(left);
+        if (left_obj == NULL)
+            return NULL;
+        PyList_SetItem(pending, slot, left_obj);  /* steals left_obj */
+        if (PyObject_SetAttrString(dyn, "rs_pending", left_obj) < 0)
+            return NULL;
+        if (left == 0 && PyDict_SetItem(ready, seq_obj, dyn) < 0)
+            return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef kernel_methods[] = {
+    {"select_ready", kernel_select_ready, METH_VARARGS,
+     "Port-constrained issue selection over the ready pool."},
+    {"wakeup", kernel_wakeup, METH_VARARGS,
+     "Promote the watchers of a newly ready physical register."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef kernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.core._kernel",
+    "Compiled scheduler inner loops (see repro/core/kernel.py).",
+    -1,
+    kernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__kernel(void)
+{
+    PyObject *mod = PyModule_Create(&kernel_module);
+    if (mod == NULL)
+        return NULL;
+    if (PyModule_AddIntConstant(mod, "SEQ_BITS", SEQ_BITS) < 0 ||
+        PyModule_AddIntConstant(mod, "PORT_LOAD", PORT_LOAD) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

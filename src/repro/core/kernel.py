@@ -1,0 +1,87 @@
+"""Kernel backend selection: pure-Python or compiled inner loops.
+
+The engine's scheduler inner loops exist twice: the reference pure-Python
+implementation in :mod:`repro.core.scheduler` and an optional C extension
+(``repro/core/_kernel.c``, built opportunistically by ``setup.py``).  The
+``REPRO_KERNEL`` environment variable picks the backend:
+
+``REPRO_KERNEL=py``
+    Force the pure-Python loops (the default reference semantics).
+``REPRO_KERNEL=compiled``
+    Use the compiled loops; **silently falls back to pure Python** when the
+    extension is not built or its baked-in layout constants do not match
+    :mod:`repro.core.window` (the fallback is automatic because results are
+    bit-identical either way -- only wall-clock changes).
+``REPRO_KERNEL`` unset (or ``auto``)
+    Use the compiled loops when importable, pure Python otherwise.
+
+The resolved backend is re-evaluated per :class:`~repro.core.scheduler.
+ReservationStations` construction via :func:`select_backend`, so tests can
+flip the environment variable between simulations without reimporting.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from repro.core import window as _window
+
+class KernelEnvError(SystemExit):
+    """A malformed ``REPRO_KERNEL`` value.
+
+    Subclasses :class:`SystemExit` (mirroring
+    :class:`repro.experiments.runner.EnvVarError`, which lives above this
+    layer) so a bad value aborts CLI runs with a one-line message instead
+    of a traceback, while still being catchable in library use.
+    """
+
+    def __init__(self, value: str):
+        self.value = value
+        super().__init__(
+            f"REPRO_KERNEL={value!r}: expected 'py', 'compiled' or 'auto'")
+
+
+_compiled = None
+_compiled_checked = False
+
+
+def _load_compiled():
+    """Import (once) and sanity-check the C extension; None if unusable."""
+    global _compiled, _compiled_checked
+    if _compiled_checked:
+        return _compiled
+    _compiled_checked = True
+    try:
+        from repro.core import _kernel  # type: ignore[attr-defined]
+    except ImportError:
+        return None
+    # The extension bakes in the Window layout constants; refuse to use a
+    # stale build rather than silently corrupting the select order.
+    if (getattr(_kernel, "SEQ_BITS", None) != _window.SEQ_BITS
+            or getattr(_kernel, "PORT_LOAD", None) != _window.PORT_LOAD):
+        return None
+    _compiled = _kernel
+    return _compiled
+
+
+def select_backend() -> Tuple[str, Optional[object]]:
+    """Resolve ``(backend_name, module)`` from ``REPRO_KERNEL``.
+
+    ``backend_name`` is ``"py"`` or ``"compiled"``; ``module`` is the C
+    extension module when (and only when) the compiled backend is active.
+    """
+    mode = os.environ.get("REPRO_KERNEL", "auto").strip().lower()
+    if mode == "py":
+        return "py", None
+    if mode not in ("auto", "compiled"):
+        raise KernelEnvError(mode)
+    compiled = _load_compiled()
+    if compiled is None:
+        return "py", None
+    return "compiled", compiled
+
+
+def backend_name() -> str:
+    """The backend a machine built right now would use."""
+    return select_backend()[0]

@@ -10,8 +10,11 @@ instances wait for older store addresses to resolve (paper Section 3.1).
 The queue is fully indexed -- the per-cycle ordering checks that the issue
 stage performs for every load candidate never scan the entry list:
 
-* ``_by_seq`` maps sequence number to entry (insertion order is program
-  order, so it doubles as the in-order queue);
+* ``_by_seq`` maps sequence number to the in-flight instruction (insertion
+  order is program order, so it doubles as the in-order queue); per-entry
+  state (store flag, resolved address, data readiness) lives in the shared
+  structure-of-arrays :class:`~repro.core.window.Window`, so the checks read
+  flat list slots instead of entry objects;
 * ``_unresolved_stores`` is the sorted sequence-number list of stores whose
   address is still unknown, making ``older_stores_unresolved`` an O(1)
   min-lookup;
@@ -26,9 +29,13 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right, insort
 from typing import Dict, List, Optional, Tuple
 
-from repro.functional.memory import SparseMemory
+from repro.core.window import Window
+from repro.functional.memory import WORD_SIZE
 from repro.isa.instruction import DynInst
 from repro.isa.program import INST_SIZE
+
+#: Word alignment as a plain mask (``SparseMemory.align`` without the call).
+_ALIGN_MASK = ~(WORD_SIZE - 1)
 
 
 class CollisionHistoryTable:
@@ -54,7 +61,7 @@ class CollisionHistoryTable:
         poll attempts.  The issue stage records the hit once per dynamic
         load via :meth:`record_hit`.
         """
-        return self._tags[self._index(pc)] == pc
+        return self._tags[(pc // INST_SIZE) % self.entries] == pc
 
     def record_hit(self) -> None:
         """Count one dynamic load constrained by a collision prediction."""
@@ -62,18 +69,7 @@ class CollisionHistoryTable:
 
     def train(self, pc: int) -> None:
         self.trainings += 1
-        self._tags[self._index(pc)] = pc
-
-
-class _MemEntry:
-    __slots__ = ("dyn", "is_store", "addr", "data_ready", "executed")
-
-    def __init__(self, dyn: DynInst, is_store_op: bool):
-        self.dyn = dyn
-        self.is_store = is_store_op
-        self.addr: Optional[int] = None
-        self.data_ready = False
-        self.executed = False
+        self._tags[(pc // INST_SIZE) % self.entries] = pc
 
 
 def _remove_sorted(seqs: List[int], seq: int) -> None:
@@ -91,10 +87,13 @@ class LoadStoreQueue:
     sequence number.
     """
 
-    def __init__(self, size: int = 64):
+    def __init__(self, size: int = 64, window: Optional[Window] = None):
         self.size = size
-        #: seq -> entry; dict insertion order is program order.
-        self._by_seq: Dict[int, _MemEntry] = {}
+        #: Shared (or private, when standalone) structure-of-arrays state.
+        self.window = window if window is not None else Window()
+        #: seq -> in-flight instruction; dict insertion order is program
+        #: order.  Entry state lives in the window arrays.
+        self._by_seq: Dict[int, DynInst] = {}
         #: Sorted seqs of stores whose address has not resolved yet.
         self._unresolved_stores: List[int] = []
         #: aligned addr -> sorted seqs of address-resolved stores.
@@ -110,52 +109,64 @@ class LoadStoreQueue:
         return len(self._by_seq) + count <= self.size
 
     def insert(self, dyn: DynInst) -> None:
-        if not self.has_space():
+        by_seq = self._by_seq
+        if len(by_seq) >= self.size:
             raise RuntimeError("LSQ overflow")
-        entry = _MemEntry(dyn, dyn.info.is_store)
-        self._by_seq[dyn.seq] = entry
-        if entry.is_store:
+        seq = dyn.seq
+        win = self.window
+        if by_seq and seq - next(iter(by_seq)) > win.mask:
+            # Two live entries may never share a ring slot (see Window docs).
+            raise RuntimeError("window ring aliasing in load/store queue")
+        by_seq[seq] = dyn
+        slot = seq & win.mask
+        is_store = dyn.info.is_store
+        win.mem_is_store[slot] = is_store
+        win.mem_addr[slot] = None
+        win.mem_data_ready[slot] = False
+        win.mem_executed[slot] = False
+        if is_store:
             # Inserts happen in program order, so append keeps the list
             # sorted; insort guards unit tests that insert out of order.
-            insort(self._unresolved_stores, dyn.seq)
+            insort(self._unresolved_stores, seq)
+        else:
+            win.cht_counted[slot] = False
         dyn.in_lsq = True
 
-    def _drop_indexes(self, entry: _MemEntry) -> None:
+    def _drop_indexes(self, seq: int) -> None:
         """Remove one entry from the address/unresolved indices."""
-        seq = entry.dyn.seq
-        if entry.is_store:
-            if entry.addr is None:
+        win = self.window
+        slot = seq & win.mask
+        addr = win.mem_addr[slot]
+        if win.mem_is_store[slot]:
+            if addr is None:
                 _remove_sorted(self._unresolved_stores, seq)
             else:
-                bucket = self._stores_by_addr.get(entry.addr)
+                bucket = self._stores_by_addr.get(addr)
                 if bucket is not None:
                     _remove_sorted(bucket, seq)
                     if not bucket:
-                        del self._stores_by_addr[entry.addr]
-        elif entry.executed and entry.addr is not None:
-            bucket = self._loads_by_addr.get(entry.addr)
+                        del self._stores_by_addr[addr]
+        elif win.mem_executed[slot] and addr is not None:
+            bucket = self._loads_by_addr.get(addr)
             if bucket is not None:
                 _remove_sorted(bucket, seq)
                 if not bucket:
-                    del self._loads_by_addr[entry.addr]
+                    del self._loads_by_addr[addr]
 
     def remove(self, dyn: DynInst) -> None:
-        entry = self._by_seq.pop(dyn.seq, None)
-        if entry is not None:
-            self._drop_indexes(entry)
+        if self._by_seq.pop(dyn.seq, None) is not None:
+            self._drop_indexes(dyn.seq)
             dyn.in_lsq = False
 
     def squash(self, squashed_seqs: set) -> int:
         """Drop entries belonging to squashed instructions; returns count."""
-        doomed = [seq for seq in self._by_seq if seq in squashed_seqs]
+        by_seq = self._by_seq
+        doomed = [seq for seq in by_seq if seq in squashed_seqs]
         for seq in doomed:
-            entry = self._by_seq.pop(seq)
-            self._drop_indexes(entry)
-            entry.dyn.in_lsq = False
+            dyn = by_seq.pop(seq)
+            self._drop_indexes(seq)
+            dyn.in_lsq = False
         return len(doomed)
-
-    def _find(self, dyn: DynInst) -> Optional[_MemEntry]:
-        return self._by_seq.get(dyn.seq)
 
     # ------------------------------------------------------------------
     # store side
@@ -166,43 +177,52 @@ class LoadStoreQueue:
         Returns the younger loads that already executed against the same
         word -- each is a memory-order violation requiring a squash.
         """
-        entry = self._by_seq.get(dyn.seq)
-        if entry is None or not entry.is_store:
+        seq = dyn.seq
+        by_seq = self._by_seq
+        if seq not in by_seq:
             return []
-        aligned = SparseMemory.align(addr)
-        if entry.addr is None:
-            _remove_sorted(self._unresolved_stores, dyn.seq)
-            insort(self._stores_by_addr.setdefault(aligned, []), dyn.seq)
-        elif entry.addr != aligned:
+        win = self.window
+        slot = seq & win.mask
+        if not win.mem_is_store[slot]:
+            return []
+        aligned = addr & _ALIGN_MASK
+        old_addr = win.mem_addr[slot]
+        if old_addr is None:
+            _remove_sorted(self._unresolved_stores, seq)
+            insort(self._stores_by_addr.setdefault(aligned, []), seq)
+        elif old_addr != aligned:
             # Re-resolution to a new address (defensive; completions fire
             # once per dynamic store in the current pipeline).
-            self._drop_indexes(entry)
-            insort(self._stores_by_addr.setdefault(aligned, []), dyn.seq)
-        entry.addr = aligned
-        entry.data_ready = True
-        entry.executed = True
+            self._drop_indexes(seq)
+            insort(self._stores_by_addr.setdefault(aligned, []), seq)
+        win.mem_addr[slot] = aligned
+        win.mem_data_ready[slot] = True
+        win.mem_executed[slot] = True
         loads = self._loads_by_addr.get(aligned)
         if not loads:
             return []
-        by_seq = self._by_seq
-        return [by_seq[seq].dyn
-                for seq in loads[bisect_right(loads, dyn.seq):]]
+        return [by_seq[s] for s in loads[bisect_right(loads, seq):]]
 
     # ------------------------------------------------------------------
     # load side
     # ------------------------------------------------------------------
     def record_load(self, dyn: DynInst, addr: int) -> None:
-        entry = self._by_seq.get(dyn.seq)
-        if entry is None or entry.is_store:
+        seq = dyn.seq
+        if seq not in self._by_seq:
             return
-        aligned = SparseMemory.align(addr)
-        if entry.executed and entry.addr == aligned:
+        win = self.window
+        slot = seq & win.mask
+        if win.mem_is_store[slot]:
             return
-        if entry.executed and entry.addr is not None:
-            self._drop_indexes(entry)
-        entry.addr = aligned
-        entry.executed = True
-        insort(self._loads_by_addr.setdefault(aligned, []), dyn.seq)
+        aligned = addr & _ALIGN_MASK
+        if win.mem_executed[slot]:
+            if win.mem_addr[slot] == aligned:
+                return
+            if win.mem_addr[slot] is not None:
+                self._drop_indexes(seq)
+        win.mem_addr[slot] = aligned
+        win.mem_executed[slot] = True
+        insort(self._loads_by_addr.setdefault(aligned, []), seq)
 
     def forward_from(self, dyn: DynInst, addr: int
                      ) -> Tuple[Optional[DynInst], bool]:
@@ -212,14 +232,16 @@ class LoadStoreQueue:
         older store matches.  ``data_ready`` is False when the matching
         store has not produced its data yet (the load must wait).
         """
-        stores = self._stores_by_addr.get(SparseMemory.align(addr))
+        stores = self._stores_by_addr.get(addr & _ALIGN_MASK)
         if not stores:
             return None, True
-        idx = bisect_left(stores, dyn.seq)
+        seq = dyn.seq
+        idx = bisect_left(stores, seq)
         if idx == 0:
             return None, True
-        best = self._by_seq[stores[idx - 1]]
-        return best.dyn, best.data_ready
+        win = self.window
+        best_seq = stores[idx - 1]
+        return self._by_seq[best_seq], win.mem_data_ready[best_seq & win.mask]
 
     def older_stores_unresolved(self, dyn: DynInst) -> bool:
         """True when any older store has not yet resolved its address."""
@@ -229,7 +251,8 @@ class LoadStoreQueue:
     def older_store_conflict_possible(self, dyn: DynInst, addr: int) -> bool:
         """True when an older store either matches the address or is still
         unresolved (used by conservative, CHT-stalled loads)."""
-        if self.older_stores_unresolved(dyn):
+        unresolved = self._unresolved_stores
+        if unresolved and unresolved[0] < dyn.seq:
             return True
-        stores = self._stores_by_addr.get(SparseMemory.align(addr))
+        stores = self._stores_by_addr.get(addr & _ALIGN_MASK)
         return bool(stores) and stores[0] < dyn.seq

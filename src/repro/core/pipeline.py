@@ -26,12 +26,18 @@ the same cycle, matching the seed model exactly.
 
 from __future__ import annotations
 
+import gc
+import os
 from typing import Optional, Tuple
 
 from repro.core.builder import MachineBuilder
 from repro.core.config import MachineConfig
 from repro.core.diva import SimulationError
 from repro.core.stages import Stage
+from repro.core.stages.commit import CommitDiva
+from repro.core.stages.execute import IssueExecute
+from repro.core.stages.frontend import FrontEnd
+from repro.core.stages.rename import RenameIntegrate
 from repro.core.stats import SimStats
 from repro.functional.state import ArchState
 from repro.isa.program import Program
@@ -114,6 +120,23 @@ class Processor:
         state.stats.rs_occupancy_samples += 1
         state.cycle += 1
 
+    def _fast_path_eligible(self) -> bool:
+        """Whether the fused quiescent-skipping loop may drive this machine.
+
+        The fused loop decides *whether* each stage has work from the shared
+        engine state, so it is only used when every stage is exactly the
+        stock implementation (a variant that overrides a stage falls back to
+        the generic :meth:`step` loop) and the scheduler tracks readiness
+        through a bound PRF.  ``REPRO_FAST_PATH=0`` forces the generic loop
+        for equivalence testing.
+        """
+        return (os.environ.get("REPRO_FAST_PATH", "1") != "0"
+                and type(self.front_end) is FrontEnd
+                and type(self.rename_integrate) is RenameIntegrate
+                and type(self.issue_execute) is IssueExecute
+                and type(self.commit_diva) is CommitDiva
+                and self.state.rs._prf is not None)
+
     def _run_phase(self, budget: Optional[int]) -> None:
         """Advance the clock until halt or exactly ``budget`` retirements.
 
@@ -124,6 +147,9 @@ class Processor:
         state = self.state
         config = self.config
         state.retire_budget = budget
+        if self._fast_path_eligible():
+            self._run_phase_fast(budget)
+            return
         while not state.arch.halted:
             if budget is not None and state.stats.retired >= budget:
                 break
@@ -136,6 +162,80 @@ class Processor:
                     f"{config.deadlock_cycles} cycles at cycle {state.cycle} "
                     f"(ROB={len(state.rob)}, RS={state.rs.occupancy})")
             self.step()
+
+    def _run_phase_fast(self, budget: Optional[int]) -> None:
+        """The fused per-cycle loop: skip stages with provably no work.
+
+        Per-cycle stage order and semantics are identical to :meth:`step`;
+        the only difference is that a stage whose no-work early-return would
+        fire is never called at all:
+
+        * writeback -- no wakeup/completion event scheduled for this cycle,
+        * commit -- reorder buffer empty,
+        * issue -- ready pool empty (select cannot pick anything; holds for
+          the in-order variant's scheduler too, which stops at the first
+          not-ready instruction),
+        * rename -- fetch queue empty or its head not yet decoded,
+        * fetch -- halted, redirect in flight, or fetch queue full.
+
+        All guards read live engine state that squash/recovery mutate in
+        place, so a redirect or flush in cycle N is reflected by the guards
+        of cycle N+1 exactly as in the generic loop.
+        """
+        state = self.state
+        config = self.config
+        arch = state.arch
+        stats = state.stats
+        execute = self.issue_execute
+        frontend = self.front_end
+        wakeup_events = execute.wakeup_events
+        complete_events = execute.complete_events
+        rs_ready = state.rs._ready
+        rs_waiting = state.rs._waiting
+        rob_entries = state.rob._entries
+        fetch_queue = frontend.fetch_queue
+        fetch_queue_size = config.fetch_queue_size
+        max_cycles = config.max_cycles
+        deadlock_cycles = config.deadlock_cycles
+        writeback = execute.writeback
+        commit_tick = self.commit_diva.tick
+        execute_tick = execute.tick
+        rename_tick = self.rename_integrate.tick
+        frontend_tick = frontend.tick
+        occupancy_sum = 0
+        samples = 0
+        cycle = state.cycle
+        try:
+            while not arch.halted:
+                if budget is not None and stats.retired >= budget:
+                    break
+                if cycle >= max_cycles:
+                    raise SimulationError(
+                        f"{self.program.name}: exceeded {max_cycles} cycles")
+                if cycle - state.last_retire_cycle > deadlock_cycles:
+                    raise SimulationError(
+                        f"{self.program.name}: no retirement for "
+                        f"{deadlock_cycles} cycles at cycle {cycle} "
+                        f"(ROB={len(rob_entries)}, RS={len(rs_waiting)})")
+                if cycle in wakeup_events or cycle in complete_events:
+                    writeback()
+                if rob_entries:
+                    commit_tick()
+                if rs_ready:
+                    execute_tick()
+                if fetch_queue and fetch_queue[0][1] <= cycle:
+                    rename_tick()
+                if (not frontend.fetch_halted
+                        and cycle >= frontend.fetch_resume_cycle
+                        and len(fetch_queue) < fetch_queue_size):
+                    frontend_tick()
+                occupancy_sum += len(rs_waiting)
+                samples += 1
+                cycle += 1
+                state.cycle = cycle
+        finally:
+            stats.rs_occupancy_sum += occupancy_sum
+            stats.rs_occupancy_samples += samples
 
     def run(self, max_instructions: Optional[int] = None,
             warmup_instructions: int = 0) -> SimStats:
@@ -151,6 +251,22 @@ class Processor:
         at ``boundary - warmup`` with ``warmup_instructions=warmup`` counts
         exactly the instructions in ``[boundary, boundary + budget)``.
         """
+        # The per-cycle loop allocates heavily (DynInst, IT entries, event
+        # buckets) but the object graph is cycle-free, so reference counting
+        # reclaims everything promptly; pausing the cyclic collector for the
+        # run avoids pointless generation scans in the middle of the hot
+        # loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(max_instructions, warmup_instructions)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self, max_instructions: Optional[int],
+             warmup_instructions: int) -> SimStats:
         state = self.state
         if warmup_instructions:
             self._run_phase(warmup_instructions)

@@ -55,12 +55,13 @@ class PipelineState:
     __slots__ = (
         "program", "config", "arch", "diva", "mem", "predictor", "prf",
         "map_table", "renamer", "integration", "rob", "rs", "lsq", "cht",
-        "stats", "cycle", "seq", "last_retire_cycle", "preg_producer",
-        "predictions", "retire_budget",
+        "window", "stats", "cycle", "seq", "last_retire_cycle",
+        "preg_producer", "predictions", "retire_budget",
     )
 
     def __init__(self, *, program, config, arch, diva, mem, predictor, prf,
-                 map_table, renamer, integration, rob, rs, lsq, cht, stats):
+                 map_table, renamer, integration, rob, rs, lsq, cht, stats,
+                 window=None):
         self.program = program
         self.config = config
         self.arch = arch
@@ -75,6 +76,9 @@ class PipelineState:
         self.rs = rs
         self.lsq = lsq
         self.cht = cht
+        #: Shared structure-of-arrays in-flight state (falls back to the
+        #: scheduler's private window for hand-wired test harnesses).
+        self.window = window if window is not None else rs.window
         self.stats = stats
 
         # Global bookkeeping.

@@ -57,24 +57,52 @@ class CommitDiva:
     # ------------------------------------------------------------------
     def tick(self) -> None:
         state = self.state
+        rob_entries = state.rob._entries
+        if not rob_entries:
+            return
         budget = state.retire_budget
+        stats = state.stats
+        cycle = state.cycle
+        prf_ready = state.prf.ready
+        prf_values = state.prf.values
+        diva = state.diva
         retired = 0
-        while retired < state.config.retire_width:
-            if budget is not None and state.stats.retired >= budget:
+        width = state.config.retire_width
+        while retired < width:
+            if budget is not None and stats.retired >= budget:
                 # Exact slice boundary: never retire past the budget, so a
                 # resumed run stops on a precise instruction boundary.
                 break
-            dyn = state.rob.head()
-            if dyn is None or not self._can_retire(dyn):
+            if not rob_entries:
                 break
-            if dyn.info.is_store:
-                stall, accepted = state.mem.store(dyn.eff_addr or 0,
-                                                  state.cycle)
+            dyn = rob_entries[0]
+            # _can_retire, inlined.
+            if cycle <= dyn.rename_cycle + 1:
+                break
+            info = dyn.info
+            if dyn.integrated:
+                dest = dyn.dest_preg
+                if dest is not None and not prf_ready[dest]:
+                    break
+            elif not dyn.completed:
+                break
+            if info.is_store:
+                stall, accepted = state.mem.store(dyn.eff_addr or 0, cycle)
                 if not accepted:
                     break
-            observed_value, observed_taken, observed_next_pc = \
-                self._observed_results(dyn)
-            step, fault = state.diva.check_and_commit(
+            # _observed_results, inlined.
+            observed_value = None
+            observed_taken = None
+            observed_next_pc = None
+            if info.is_store:
+                observed_value = dyn.store_value
+            elif info.is_cond_branch:
+                observed_taken = dyn.branch_taken
+            elif info.is_indirect_ctl:
+                observed_next_pc = dyn.next_pc
+            elif dyn.inst.dest is not None and dyn.dest_preg is not None:
+                observed_value = prf_values[dyn.dest_preg]
+            step, fault = diva.check_and_commit(
                 dyn, observed_value, observed_taken, observed_next_pc)
             if fault is not None:
                 self._handle_diva_fault(dyn, step, fault)
@@ -127,13 +155,19 @@ class CommitDiva:
         state.renamer.commit(dyn)
         if dyn.in_lsq:
             state.lsq.remove(dyn)
-        dyn.retire_cycle = state.cycle
-        state.last_retire_cycle = state.cycle
-        state.predictions.pop(dyn.seq, None)
+        cycle = state.cycle
+        dyn.retire_cycle = cycle
+        state.last_retire_cycle = cycle
+        if dyn.info.is_branch:
+            # Only branches register predictions (see FrontEnd.tick).
+            state.predictions.pop(dyn.seq, None)
         stats = state.stats
         stats.retired += 1
 
-        itype = self._integration_type(dyn)
+        cache = self._itype_by_pc
+        itype = cache.get(dyn.pc, False)
+        if itype is False:
+            itype = cache[dyn.pc] = integration_type(dyn.inst)
         if itype is not None:
             stats.retired_by_type[itype] += 1
         if dyn.info.is_cond_branch:

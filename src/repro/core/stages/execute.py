@@ -5,11 +5,17 @@ writeback.
 ready instructions from the reservation stations, models execution and
 memory-access latencies, and resolves branches, indirect jumps and stores as
 their results become available.
+
+The per-instruction work reads the structure-of-arrays
+:class:`~repro.core.window.Window` (dispatch kind, source physical
+registers, the per-cycle load-issue probe) and dispatches ALU evaluation
+through the per-opcode handlers precomputed on ``OpInfo`` -- the inner loop
+performs no enum hashing and builds no intermediate operand lists.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from heapq import heappush
 from typing import Dict, List
 
 from repro.core.diva import SimulationError
@@ -18,6 +24,8 @@ from repro.isa import semantics
 from repro.isa.instruction import DynInst
 from repro.isa.opcodes import OpClass
 from repro.isa.program import INST_SIZE
+
+_MASK64 = semantics.MASK64
 
 
 class IssueExecute:
@@ -28,22 +36,27 @@ class IssueExecute:
     def __init__(self, state: PipelineState, recovery: RecoveryController):
         self.state = state
         self.recovery = recovery
-        self.wakeup_events: Dict[int, List] = defaultdict(list)
-        self.complete_events: Dict[int, List[DynInst]] = defaultdict(list)
+        self.wakeup_events: Dict[int, List] = {}
+        self.complete_events: Dict[int, List[DynInst]] = {}
+        #: Min-heap of cycles with scheduled events (lazily pruned); the
+        #: quiescent fast path in the engine uses it to jump the clock to
+        #: the next cycle with work.
+        self.event_cycles: List[int] = []
 
     # ==================================================================
     # writeback: wakeups and completions scheduled in earlier cycles
     # ==================================================================
     def writeback(self) -> None:
         state = self.state
-        wakeups = self.wakeup_events.pop(state.cycle, None)
+        cycle = state.cycle
+        wakeups = self.wakeup_events.pop(cycle, None)
         if wakeups:
             set_value = state.prf.set_value
             for dyn, value in wakeups:
                 if dyn.squashed or dyn.dest_preg is None:
                     continue
                 set_value(dyn.dest_preg, value)
-        completions = self.complete_events.pop(state.cycle, None)
+        completions = self.complete_events.pop(cycle, None)
         if completions:
             for dyn in completions:
                 if dyn.squashed:
@@ -57,10 +70,10 @@ class IssueExecute:
         cls = dyn.cls
         if cls is OpClass.COND_BRANCH:
             self._resolve_branch(dyn)
-        elif dyn.info.is_indirect_ctl:
-            self._resolve_indirect(dyn)
         elif cls is OpClass.STORE:
             self._resolve_store(dyn)
+        elif dyn.info.is_indirect_ctl:
+            self._resolve_indirect(dyn)
 
     # ------------------------------------------------------------------
     def _resolve_branch(self, dyn: DynInst) -> None:
@@ -107,8 +120,10 @@ class IssueExecute:
     def tick(self) -> None:
         selected = self.state.rs.select(self._operands_ready,
                                         self._load_can_issue)
-        for dyn in selected:
-            self._execute(dyn)
+        if selected:
+            execute = self._execute
+            for dyn in selected:
+                execute(dyn)
 
     def flush(self, redirect_pc: int) -> None:
         """Scheduled events survive a squash; squashed producers are
@@ -123,21 +138,26 @@ class IssueExecute:
 
     def _load_can_issue(self, dyn: DynInst) -> bool:
         state = self.state
-        base = state.prf.values[dyn.src_pregs[0]]
-        addr = semantics.effective_address(base, dyn.inst.imm)
+        win = state.window
+        seq = dyn.seq
+        slot = seq & win.mask
+        base = state.prf.values[win.src1[slot]]
+        addr = (int(base) + dyn.inst.imm) & _MASK64
         if state.cht.predicts_collision(dyn.pc):
             # The hit statistic counts dynamic loads whose issue consulted a
             # collision prediction -- once per load, not once per re-poll of
             # a stalled load.
-            if not dyn.cht_counted:
-                dyn.cht_counted = True
+            if not win.cht_counted[slot]:
+                win.cht_counted[slot] = True
                 state.cht.record_hit()
             if state.lsq.older_stores_unresolved(dyn):
                 return False
         store, data_ready = state.lsq.forward_from(dyn, addr)
         # Cache the probe for _execute_load: nothing between select and
         # execute within a cycle changes the store image the LSQ exposes.
-        dyn.load_probe = (state.cycle, addr, store)
+        win.probe_cycle[slot] = state.cycle
+        win.probe_addr[slot] = addr
+        win.probe_store[slot] = store
         if store is not None and not data_ready:
             return False
         return True
@@ -146,57 +166,78 @@ class IssueExecute:
         state = self.state
         config = state.config
         dyn.issued = True
-        dyn.issue_cycle = state.cycle
+        cycle = state.cycle
+        dyn.issue_cycle = cycle
         state.stats.issued += 1
         inst = dyn.inst
-        cls = dyn.cls
+        info = dyn.info
+        win = state.window
+        slot = dyn.seq & win.mask
+        kind = win.kind[slot]
         prf_values = state.prf.values
-        values = [prf_values[p] for p in dyn.src_pregs]
-        dyn.src_values = values
+        nsrc = win.nsrc[slot]
+        a = prf_values[win.src1[slot]] if nsrc else 0
         regread = config.regread_stages
         wb = config.writeback_stages
 
-        if dyn.info.is_alu:
-            a = values[0] if values else 0
-            b = values[1] if len(values) > 1 else 0
-            result = semantics.evaluate(inst.op, a, b, inst.imm)
+        if kind == 0:                               # ALU / FP
+            b = prf_values[win.src2[slot]] if nsrc > 1 else 0
+            if info.eval_is_fp:
+                result = info.eval_fn(a, b, inst.imm)
+            else:
+                # Wrong-path execution can feed an integer operation a
+                # register that last held a float; truncate (the result is
+                # discarded at the squash anyway).
+                if type(a) is float:
+                    a = int(a)
+                if type(b) is float:
+                    b = int(b)
+                result = info.eval_fn(a, b, inst.imm)
             dyn.result = result
-            latency = dyn.info.latency
+            latency = info.latency
             self._schedule_wakeup(dyn, latency, result)
             self._schedule_complete(dyn, regread + latency + wb)
-        elif cls is OpClass.COND_BRANCH:
-            taken = semantics.branch_taken(inst.op, values[0])
+        elif kind == 1:                             # conditional branch
+            taken = info.branch_fn(semantics.to_signed(int(a)))
             dyn.branch_taken = taken
             dyn.next_pc = inst.target if taken else inst.pc + INST_SIZE
             self._schedule_complete(dyn, regread + 1 + wb)
-        elif dyn.info.is_indirect_ctl:
-            target = int(values[0]) & semantics.MASK64
+        elif kind == 2:                             # indirect control
+            target = int(a) & _MASK64
             dyn.next_pc = target
-            if cls is OpClass.CALL_INDIRECT and dyn.dest_preg is not None:
+            if dyn.cls is OpClass.CALL_INDIRECT and dyn.dest_preg is not None:
                 link = inst.pc + INST_SIZE
                 dyn.result = link
                 self._schedule_wakeup(dyn, 1, link)
             self._schedule_complete(dyn, regread + 1 + wb)
-        elif cls is OpClass.LOAD:
-            self._execute_load(dyn, values)
-        elif cls is OpClass.STORE:
-            self._execute_store(dyn, values)
+        elif kind == 3:                             # load
+            self._execute_load(dyn, a, slot)
+        elif kind == 4:                             # store
+            b = prf_values[win.src2[slot]] if nsrc > 1 else 0
+            addr = (int(b) + inst.imm) & _MASK64
+            dyn.eff_addr = addr
+            dyn.store_value = (int(a) & semantics.MASK32
+                               if info.is_stl else a)
+            state.stats.executed_stores += 1
+            agen = config.memsys.address_generation_latency
+            self._schedule_complete(dyn, regread + agen + wb)
         else:  # pragma: no cover - such classes never enter the RS
             raise SimulationError(f"unexpected issue of {dyn}")
 
-    def _execute_load(self, dyn: DynInst, values) -> None:
+    def _execute_load(self, dyn: DynInst, base, slot: int) -> None:
         state = self.state
         config = state.config
         inst = dyn.inst
+        win = state.window
         agen = config.memsys.address_generation_latency
         # Reuse the issue-check probe computed by _load_can_issue this
         # cycle: the LSQ store image cannot change between select and
         # execute (stores resolve at completion, in writeback).
-        probe = dyn.load_probe
-        if probe is not None and probe[0] == state.cycle:
-            _, addr, store = probe
+        if win.probe_cycle[slot] == state.cycle:
+            addr = win.probe_addr[slot]
+            store = win.probe_store[slot]
         else:
-            addr = semantics.effective_address(values[0], inst.imm)
+            addr = (int(base) + inst.imm) & _MASK64
             store, _ = state.lsq.forward_from(dyn, addr)
         dyn.eff_addr = addr
         state.lsq.record_load(dyn, addr)
@@ -208,28 +249,30 @@ class IssueExecute:
             access = state.mem.load(addr, state.cycle + agen)
             latency = agen + access.latency
             value = state.arch.memory.read(addr)
-        value = semantics.narrow_load_value(inst.op, value)
+        if dyn.info.is_ldl:
+            value = semantics.to_unsigned(
+                semantics.to_signed(int(value) & semantics.MASK32, 32))
         dyn.result = value
         self._schedule_wakeup(dyn, latency, value)
         self._schedule_complete(dyn, config.regread_stages + latency
                                 + config.writeback_stages)
 
-    def _execute_store(self, dyn: DynInst, values) -> None:
-        state = self.state
-        config = state.config
-        inst = dyn.inst
-        data, base = values[0], values[1]
-        addr = semantics.effective_address(base, inst.imm)
-        dyn.eff_addr = addr
-        dyn.store_value = semantics.narrow_store_value(inst.op, data)
-        state.stats.executed_stores += 1
-        agen = config.memsys.address_generation_latency
-        self._schedule_complete(dyn, config.regread_stages + agen
-                                + config.writeback_stages)
-
     def _schedule_wakeup(self, dyn: DynInst, delay: int, value) -> None:
-        self.wakeup_events[self.state.cycle + max(1, delay)].append(
-            (dyn, value))
+        cycle = self.state.cycle + (delay if delay > 1 else 1)
+        bucket = self.wakeup_events.get(cycle)
+        if bucket is None:
+            self.wakeup_events[cycle] = [(dyn, value)]
+            if cycle not in self.complete_events:
+                heappush(self.event_cycles, cycle)
+        else:
+            bucket.append((dyn, value))
 
     def _schedule_complete(self, dyn: DynInst, delay: int) -> None:
-        self.complete_events[self.state.cycle + max(1, delay)].append(dyn)
+        cycle = self.state.cycle + (delay if delay > 1 else 1)
+        bucket = self.complete_events.get(cycle)
+        if bucket is None:
+            self.complete_events[cycle] = [dyn]
+            if cycle not in self.wakeup_events:
+                heappush(self.event_cycles, cycle)
+        else:
+            bucket.append(dyn)

@@ -36,48 +36,60 @@ class FrontEnd:
     def tick(self) -> None:
         state = self.state
         config = state.config
-        if (self.fetch_halted or state.cycle < self.fetch_resume_cycle
+        cycle = state.cycle
+        if (self.fetch_halted or cycle < self.fetch_resume_cycle
                 or len(self.fetch_queue) >= config.fetch_queue_size):
             return
-        first = state.program.at(self.fetch_pc)
+        fetch_pc = self.fetch_pc
+        program_at = state.program.at
+        first = program_at(fetch_pc)
         if first is None:
             self.fetch_halted = True
             return
-        access = state.mem.ifetch(self.fetch_pc, state.cycle)
-        ready_cycle = (state.cycle + config.fetch_stages + config.decode_stages
+        access = state.mem.ifetch(fetch_pc, cycle)
+        ready_cycle = (cycle + config.fetch_stages + config.decode_stages
                        + max(0, access.latency - 1))
-        program_at = state.program.at
         predictor = state.predictor
         predictions = state.predictions
         fetch_queue = self.fetch_queue
-        cycle = state.cycle
+        append = fetch_queue.append
+        # The predictor only mutates on control-flow instructions, so one
+        # checkpoint (an immutable tuple) is shared by every instruction
+        # fetched since the last branch -- including across cycles via the
+        # branch-prediction path below invalidating it.
+        snap = None
         fetched = 0
         for _ in range(config.fetch_width):
-            inst = program_at(self.fetch_pc)
+            inst = program_at(fetch_pc)
             if inst is None:
                 self.fetch_halted = True
                 break
             state.seq += 1
             dyn = DynInst(state.seq, inst)
             dyn.fetch_cycle = cycle
-            dyn.call_depth = predictor.ras.depth
-            dyn.map_checkpoint = predictor.snapshot()
+            if snap is None:
+                snap = predictor.snapshot()
+                depth = len(snap[1])
+            dyn.call_depth = depth
+            dyn.map_checkpoint = snap
             fetched += 1
+            fetch_pc = inst.pc + INST_SIZE
             if inst.info.is_branch:
                 prediction = predictor.predict(inst)
+                snap = None
                 dyn.pred_taken = prediction.taken
                 dyn.pred_next_pc = prediction.target
                 predictions[dyn.seq] = prediction
-                fetch_queue.append((dyn, ready_cycle))
+                append((dyn, ready_cycle))
                 if prediction.taken:
-                    self.fetch_pc = prediction.target
+                    fetch_pc = prediction.target
                     break
             else:
                 # Non-control-flow: the predictor has no side effects and
                 # always predicts fall-through, so skip the call entirely.
-                dyn.pred_next_pc = inst.pc + INST_SIZE
-                fetch_queue.append((dyn, ready_cycle))
-            self.fetch_pc = inst.pc + INST_SIZE
+                dyn.pred_next_pc = fetch_pc
+                append((dyn, ready_cycle))
+        self.fetch_pc = fetch_pc
         state.stats.fetched += fetched
 
     # ------------------------------------------------------------------

@@ -5,13 +5,17 @@ queue, renames their sources, consults the integration table and either
 points the instruction at an existing physical register (integration: the
 instruction leaves the pipeline here, never issuing) or allocates a fresh
 destination and dispatches it to the out-of-order engine.
+
+The per-instruction work is written flat: source lookup reads the map-table
+arrays directly, the integration preconditions (enabled, integrable opcode)
+are tested before calling into the integration logic, and the destination
+rename uses the allocation-free :meth:`~repro.rename.renamer.Renamer.
+rename_dest` code path.  All decisions and statistics are identical to the
+layered equivalents the unit tests exercise.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.core.diva import SimulationError
 from repro.core.stages.base import PipelineState, RecoveryController
 from repro.core.stages.frontend import FrontEnd
 from repro.core.stats import ResultStatus
@@ -20,6 +24,8 @@ from repro.isa import semantics
 from repro.isa.instruction import DynInst
 from repro.isa.opcodes import OpClass
 from repro.isa.program import INST_SIZE
+from repro.isa.registers import REG_FZERO, REG_ZERO
+from repro.rename.physical import ZERO_PREG
 
 
 class RenameIntegrate:
@@ -32,34 +38,50 @@ class RenameIntegrate:
         self.state = state
         self.frontend = frontend
         self.recovery = recovery
+        icfg = state.config.integration
+        # Hoisted integration preconditions (the config is immutable).
+        self._int_enabled = icfg.enabled
+        self._oracle_loads = icfg.lisp_mode is LispMode.ORACLE
 
     # ------------------------------------------------------------------
     def tick(self) -> None:
         state = self.state
-        config = state.config
+        cycle = state.cycle
         fetch_queue = self.frontend.fetch_queue
+        if not fetch_queue:
+            return
+        rob = state.rob
+        rob_entries = rob._entries
+        rob_size = rob.size
+        rs = state.rs
+        rs_waiting = rs._waiting
+        rs_entries = rs.entries
+        lsq = state.lsq
+        lsq_by_seq = lsq._by_seq
+        lsq_size = lsq.size
+        stats = state.stats
+        rename_one = self._rename_one
         renamed = 0
-        while renamed < config.rename_width and fetch_queue:
+        width = state.config.rename_width
+        while renamed < width and fetch_queue:
             dyn, ready_cycle = fetch_queue[0]
-            if ready_cycle > state.cycle or state.rob.full:
+            if ready_cycle > cycle or len(rob_entries) >= rob_size:
                 break
             info = dyn.info
-            needs_rs = info.needs_rs
-            needs_lsq = info.is_mem
-            if needs_rs and not state.rs.has_space():
+            if info.needs_rs and len(rs_waiting) >= rs_entries:
                 break
-            if needs_lsq and not state.lsq.has_space():
+            if info.is_mem and len(lsq_by_seq) >= lsq_size:
                 break
             # Remove the instruction from the front-end queue before renaming
             # it: an integrated branch that redirects fetch flushes the queue
             # and must not flush itself.
             fetch_queue.popleft()
-            if not self._rename_one(dyn):
+            if not rename_one(dyn):
                 fetch_queue.appendleft((dyn, ready_cycle))
                 break
-            dyn.rename_cycle = state.cycle
-            state.rob.push(dyn)
-            state.stats.renamed += 1
+            dyn.rename_cycle = cycle
+            rob.push(dyn)
+            stats.renamed += 1
             renamed += 1
             # An integrated branch that redirected fetch ends the rename
             # group (everything behind it in the queue was flushed).
@@ -74,43 +96,63 @@ class RenameIntegrate:
         """Rename (or integrate) one instruction; False means stall."""
         state = self.state
         inst = dyn.inst
-        cls = dyn.cls
-        state.renamer.lookup_sources(dyn)
+        info = dyn.info
 
-        oracle = None
-        if (state.config.integration.lisp_mode is LispMode.ORACLE
-                and dyn.info.is_load):
-            oracle = self._oracle_allow
-        decision = state.integration.consider(dyn, dyn.call_depth,
-                                              oracle_allow=oracle)
-        if decision.suppressed_by_lisp or decision.suppressed_by_oracle:
-            state.stats.lisp_suppressed += 1
+        # Source lookup (Renamer.lookup_sources, inlined).
+        map_table = state.map_table
+        mt_pregs = map_table._pregs
+        mt_gens = map_table._gens
+        pregs = []
+        gens = []
+        for logical in inst.srcs:
+            if logical == REG_ZERO or logical == REG_FZERO:
+                pregs.append(ZERO_PREG)
+                gens.append(0)
+            else:
+                pregs.append(mt_pregs[logical])
+                gens.append(mt_gens[logical])
+        dyn.src_pregs = pregs
+        dyn.src_gens = gens
 
-        if decision.integrate:
-            if self._apply_integration(dyn, decision):
-                return True
-            state.stats.refcount_saturation_failures += 1
+        if self._int_enabled and info.integrable:
+            oracle = (self._oracle_allow
+                      if self._oracle_loads and info.is_load else None)
+            decision = state.integration.consider(dyn, dyn.call_depth,
+                                                  oracle_allow=oracle)
+            if decision.suppressed_by_lisp or decision.suppressed_by_oracle:
+                state.stats.lisp_suppressed += 1
+            if decision.integrate:
+                if self._apply_integration(dyn, decision):
+                    return True
+                state.stats.refcount_saturation_failures += 1
 
-        result = state.renamer.allocate_dest(dyn)
-        if result is None:
+        code = state.renamer.rename_dest(dyn)
+        if code < 0:
             return False
-        if result.allocated:
+        if code > 0:
             state.preg_producer[dyn.dest_preg] = dyn
-        state.integration.create_entries(dyn, dyn.call_depth)
+        if self._int_enabled:
+            state.integration.create_entries(dyn, dyn.call_depth)
 
+        cycle = state.cycle
+        cls = dyn.cls
         if cls is OpClass.CALL_DIRECT:
             link = inst.pc + INST_SIZE
             if dyn.dest_preg is not None:
                 state.prf.set_value(dyn.dest_preg, link)
             dyn.result = link
-            self._mark_rename_complete(dyn)
-        elif dyn.info.rename_complete:
-            self._mark_rename_complete(dyn)
+            dyn.executed = True
+            dyn.completed = True
+            dyn.complete_cycle = cycle
+        elif info.rename_complete:
+            dyn.executed = True
+            dyn.completed = True
+            dyn.complete_cycle = cycle
         else:
             state.rs.insert(dyn)
-            if dyn.info.is_mem:
+            if info.is_mem:
                 state.lsq.insert(dyn)
-            dyn.dispatch_cycle = state.cycle
+            dyn.dispatch_cycle = cycle
         return True
 
     def _mark_rename_complete(self, dyn: DynInst) -> None:

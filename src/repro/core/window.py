@@ -1,0 +1,112 @@
+"""Structure-of-arrays state for the in-flight instruction window.
+
+The per-cycle hot loops (scheduler wakeup/select, LSQ disambiguation, the
+execute stage's operand fetch) used to chase :class:`~repro.isa.instruction.
+DynInst` attributes for every candidate every cycle.  :class:`Window` keeps
+that state in int-keyed parallel arrays instead: one flat list per field,
+indexed by ``seq & mask`` (a power-of-two ring).  The common cycle then
+touches list slots -- no attribute dictionaries, no per-entry objects, and
+selection can sort precomputed integer keys.
+
+Field groups (each structure writes a disjoint set, so one window is safely
+shared by the scheduler and the load/store queue):
+
+* scheduler fields (written at RS insert): ``kind`` (execute dispatch code),
+  ``port`` (issue-port code), ``sort_key`` (``(priority << SEQ_BITS) | seq``,
+  so sorting plain ints reproduces the (priority, age) selection order),
+  ``src1``/``src2``/``nsrc``/``dest`` (physical registers), ``pending``
+  (not-yet-ready source count);
+* LSQ fields (written at LSQ insert/resolve): ``mem_is_store``,
+  ``mem_addr`` (word-aligned, ``None`` while unresolved),
+  ``mem_data_ready``, ``mem_executed``;
+* issue-probe fields (written by the execute stage): ``probe_cycle``/
+  ``probe_addr``/``probe_store`` cache the per-cycle load-issue probe.
+
+Ring aliasing: two live instructions may never share ``seq & mask``.  Within
+the pipeline the live span is bounded by the reorder buffer, and the builder
+sizes the window with a large safety factor; the scheduler and LSQ each
+additionally guard their own inserts (see ``ReservationStations.insert``),
+so aliasing can only ever surface as a loud error, not silent corruption.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Window", "SEQ_BITS", "SEQ_MASK",
+           "PORT_SIMPLE", "PORT_COMPLEX", "PORT_LOAD", "PORT_STORE",
+           "KIND_ALU", "KIND_BRANCH", "KIND_INDIRECT", "KIND_LOAD",
+           "KIND_STORE"]
+
+#: Sequence numbers occupy the low bits of ``sort_key``; the selection
+#: priority sits above them, so integer comparison orders by (priority, age).
+SEQ_BITS = 48
+SEQ_MASK = (1 << SEQ_BITS) - 1
+
+# Issue-port codes (indices into the per-port count/limit lists).
+PORT_SIMPLE = 0
+PORT_COMPLEX = 1
+PORT_LOAD = 2
+PORT_STORE = 3
+
+# Execute-dispatch codes (what _execute does with a selected instruction).
+KIND_ALU = 0
+KIND_BRANCH = 1
+KIND_INDIRECT = 2
+KIND_LOAD = 3
+KIND_STORE = 4
+
+
+def _next_pow2(n: int) -> int:
+    cap = 1
+    while cap < n:
+        cap <<= 1
+    return cap
+
+
+class Window:
+    """Int-keyed parallel arrays for in-flight instruction state."""
+
+    __slots__ = (
+        "capacity", "mask",
+        # scheduler fields
+        "kind", "port", "sort_key", "src1", "src2", "nsrc", "dest", "pending",
+        # LSQ fields
+        "mem_is_store", "mem_addr", "mem_data_ready", "mem_executed",
+        # load-issue probe cache (execute stage)
+        "probe_cycle", "probe_addr", "probe_store", "cht_counted",
+    )
+
+    #: Default capacity for standalone structures (unit tests, harnesses):
+    #: far larger than any live span such callers produce.
+    STANDALONE_CAPACITY = 4096
+
+    def __init__(self, capacity: int = STANDALONE_CAPACITY):
+        cap = _next_pow2(max(2, capacity))
+        self.capacity = cap
+        self.mask = cap - 1
+        self.kind = [0] * cap
+        self.port = [0] * cap
+        self.sort_key = [0] * cap
+        self.src1 = [0] * cap
+        self.src2 = [0] * cap
+        self.nsrc = [0] * cap
+        self.dest = [0] * cap
+        self.pending = [0] * cap
+        self.mem_is_store = [False] * cap
+        self.mem_addr = [None] * cap
+        self.mem_data_ready = [False] * cap
+        self.mem_executed = [False] * cap
+        self.probe_cycle = [-1] * cap
+        self.probe_addr = [0] * cap
+        self.probe_store = [None] * cap
+        #: CHT prediction already counted for this dynamic load (the stat
+        #: is once per dynamic instruction, not once per issue poll).
+        self.cht_counted = [False] * cap
+
+    @classmethod
+    def for_config(cls, config) -> "Window":
+        """Size a window for one machine: every live scheduler/LSQ entry sits
+        in the reorder buffer, so the live ``seq`` span is bounded by how far
+        fetch can run ahead of a stalled head; a 16x safety factor over the
+        ROB+fetch-queue span covers deep squash/refetch churn."""
+        span = config.rob_size + config.fetch_queue_size + config.fetch_width
+        return cls(16 * span)

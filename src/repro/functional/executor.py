@@ -13,7 +13,7 @@ from typing import Optional
 
 from repro.functional.state import ArchState
 from repro.isa.instruction import StaticInst
-from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.opcodes import OpClass
 from repro.isa.program import INST_SIZE
 from repro.isa import semantics
 from repro.isa.registers import RETURN_VALUE_REG, ARG_REGS
@@ -37,9 +37,17 @@ class StepResult:
     halted: bool = False
 
 
+_MASK64 = semantics.MASK64
+_MASK32 = semantics.MASK32
+
+
 def execute_step(state: ArchState, inst: StaticInst) -> StepResult:
-    """Execute ``inst`` against ``state`` and advance the PC."""
-    op = inst.op
+    """Execute ``inst`` against ``state`` and advance the PC.
+
+    Dispatches through the per-opcode handlers precomputed on ``OpInfo``
+    (the same functions ``semantics.evaluate`` consults) so the per-step
+    cost is an attribute read instead of an enum-keyed dict probe.
+    """
     info = inst.info
     cls = info.cls
     fallthrough = inst.pc + INST_SIZE
@@ -54,22 +62,33 @@ def execute_step(state: ArchState, inst: StaticInst) -> StepResult:
     if info.is_alu:
         a = regs[inst.ra] if inst.ra is not None else 0
         b = regs[inst.rb] if inst.rb is not None else 0
-        dest_value = semantics.evaluate(op, a, b, inst.imm)
+        if info.eval_is_fp:
+            dest_value = info.eval_fn(a, b, inst.imm)
+        else:
+            # Same wrong-path float->int coercion semantics.evaluate applies.
+            if type(a) is float:
+                a = int(a)
+            if type(b) is float:
+                b = int(b)
+            dest_value = info.eval_fn(a, b, inst.imm)
         state.write_reg(inst.rd, dest_value)
     elif cls is OpClass.LOAD:
         base = regs[inst.ra]
-        eff_addr = semantics.effective_address(base, inst.imm)
-        dest_value = semantics.narrow_load_value(op, state.memory.read(eff_addr))
+        eff_addr = (int(base) + inst.imm) & _MASK64
+        dest_value = state.memory.read(eff_addr)
+        if info.is_ldl:
+            dest_value = semantics.to_unsigned(
+                semantics.to_signed(int(dest_value) & _MASK32, 32))
         state.write_reg(inst.rd, dest_value)
     elif cls is OpClass.STORE:
         data = regs[inst.ra]
         base = regs[inst.rb]
-        eff_addr = semantics.effective_address(base, inst.imm)
-        store_value = semantics.narrow_store_value(op, data)
+        eff_addr = (int(base) + inst.imm) & _MASK64
+        store_value = int(data) & _MASK32 if info.is_stl else data
         state.memory.write(eff_addr, store_value)
     elif cls is OpClass.COND_BRANCH:
         cond = regs[inst.ra]
-        taken = semantics.branch_taken(op, cond)
+        taken = info.branch_fn(semantics.to_signed(int(cond)))
         next_pc = inst.target if taken else fallthrough
     elif cls is OpClass.DIRECT_JUMP:
         taken = True

@@ -63,6 +63,13 @@ class IntegrationLogic:
             lisp = LoadIntegrationSuppressionPredictor(config.lisp_entries,
                                                        config.lisp_assoc)
         self.lisp = lisp
+        # Config-derived constants hoisted out of the per-rename path (the
+        # config is immutable for the lifetime of the logic).
+        self._enabled = config.enabled
+        self._lisp_realistic = (config.lisp_mode is LispMode.REALISTIC
+                                and lisp is not None)
+        self._squash_only = not config.general_reuse
+        self._oracle_loads = config.lisp_mode is LispMode.ORACLE
 
     # ------------------------------------------------------------------
     # the integration test
@@ -76,26 +83,24 @@ class IntegrationLogic:
         (``src_pregs``/``src_gens``).  ``oracle_allow`` implements oracle
         load-suppression when the configuration asks for it.
         """
-        config = self.config
-        if not config.enabled:
+        if not self._enabled:
             return NO_INTEGRATION
-        op = dyn.op
         info = dyn.info
         if not info.integrable:
             return NO_INTEGRATION
         inst = dyn.inst
 
         is_load_op = info.is_load
-        if is_load_op and config.lisp_mode is LispMode.REALISTIC and self.lisp:
+        if is_load_op and self._lisp_realistic:
             if self.lisp.suppresses(inst.pc):
                 return IntegrationDecision(integrate=False,
                                            suppressed_by_lisp=True)
 
-        candidates = self.table.lookup(inst.pc, op, inst.imm, call_depth)
+        candidates = self.table.lookup_inst(inst, call_depth)
         if not candidates:
             return NO_INTEGRATION
 
-        squash_only = not config.general_reuse
+        squash_only = self._squash_only
         is_branch_op = info.is_cond_branch
         oracle_suppressed = False
         for entry in candidates:
@@ -110,7 +115,7 @@ class IntegrationLogic:
                 if not self.prf.integration_eligible(entry.out, entry.out_gen,
                                                      squash_only=squash_only):
                     continue
-            if (is_load_op and config.lisp_mode is LispMode.ORACLE
+            if (is_load_op and self._oracle_loads
                     and oracle_allow is not None
                     and not oracle_allow(dyn, entry)):
                 oracle_suppressed = True
@@ -134,7 +139,7 @@ class IntegrationLogic:
         for the opposite adjustment.
         """
         config = self.config
-        if not config.enabled:
+        if not self._enabled:
             return
         inst = dyn.inst
         op = dyn.op

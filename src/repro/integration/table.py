@@ -102,6 +102,9 @@ class IntegrationTable:
         self.assoc = assoc
         self.num_sets = entries // assoc
         self.scheme = scheme
+        # Scheme flags hoisted out of the per-lookup path.
+        self._pc_scheme = scheme is IndexScheme.PC
+        self._depth_in_index = scheme is IndexScheme.OPCODE_IMM_CALLDEPTH
         self._sets: List[List[ITEntry]] = [[] for _ in range(self.num_sets)]
         self._tick = 0
         self.stats = ITStats()
@@ -111,12 +114,12 @@ class IntegrationTable:
     # ------------------------------------------------------------------
     def index_of(self, pc: int, opcode: Opcode, imm: Optional[int],
                  call_depth: int) -> int:
-        if self.scheme is IndexScheme.PC:
+        if self._pc_scheme:
             key = pc // INST_SIZE
         else:
             opcode_id = _OPCODE_IDS[opcode]
             key = opcode_id ^ ((imm or 0) & 0xFFFF)
-            if self.scheme is IndexScheme.OPCODE_IMM_CALLDEPTH:
+            if self._depth_in_index:
                 key ^= call_depth
         return key % self.num_sets
 
@@ -133,7 +136,7 @@ class IntegrationTable:
         self.stats.lookups += 1
         index = self.index_of(pc, opcode, imm, call_depth)
         cache_set = self._sets[index]
-        if self.scheme is IndexScheme.PC:
+        if self._pc_scheme:
             matches = [entry for entry in cache_set if entry.pc == pc]
         else:
             matches = [entry for entry in cache_set
@@ -141,6 +144,30 @@ class IntegrationTable:
         if matches:
             self.stats.tag_hits += 1
             matches.sort(key=_lru_key, reverse=True)
+        return matches
+
+    def lookup_inst(self, inst, call_depth: int) -> List[ITEntry]:
+        """``lookup`` using a static instruction's precomputed index key
+        (``StaticInst.it_key``); identical results and statistics."""
+        stats = self.stats
+        stats.lookups += 1
+        if self._pc_scheme:
+            pc = inst.pc
+            cache_set = self._sets[(pc // INST_SIZE) % self.num_sets]
+            matches = [entry for entry in cache_set if entry.pc == pc]
+        else:
+            key = inst.it_key
+            if self._depth_in_index:
+                key ^= call_depth
+            cache_set = self._sets[key % self.num_sets]
+            opcode = inst.op
+            imm = inst.imm
+            matches = [entry for entry in cache_set
+                       if entry.opcode is opcode and entry.imm == imm]
+        if matches:
+            stats.tag_hits += 1
+            if len(matches) > 1:
+                matches.sort(key=_lru_key, reverse=True)
         return matches
 
     def touch(self, entry: ITEntry) -> None:

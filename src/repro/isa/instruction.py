@@ -55,6 +55,10 @@ class StaticInst:
         object.__setattr__(self, "srcs", tuple(srcs))
         object.__setattr__(self, "dest",
                            self.rd if info.writes_dest else None)
+        # Integration-table index key under opcode/immediate indexing
+        # (repro.integration.table); pure function of the static encoding.
+        object.__setattr__(self, "it_key",
+                           info.opcode_id ^ ((self.imm or 0) & 0xFFFF))
 
     def src_regs(self) -> Tuple[int, ...]:
         """Logical source registers actually read by this instruction."""
@@ -113,10 +117,10 @@ class DynInst:
         "integration_status", "integration_refcount", "it_hit", "it_entry",
         "suppressed_by_lisp",
         # execution state
-        "src_values", "result", "eff_addr", "store_value",
+        "result", "eff_addr", "store_value",
         "executed", "issued", "completed", "squashed",
         "branch_taken", "branch_mispredicted", "mem_mispeculated",
-        "mis_integrated", "cht_counted", "load_probe",
+        "mis_integrated",
         # timing
         "fetch_cycle", "rename_cycle", "dispatch_cycle", "issue_cycle",
         "complete_cycle", "retire_cycle",
@@ -150,7 +154,6 @@ class DynInst:
         self.it_hit = False
         self.it_entry = None
         self.suppressed_by_lisp = False
-        self.src_values: List[int] = []
         self.result = None
         self.eff_addr = None
         self.store_value = None
@@ -162,11 +165,6 @@ class DynInst:
         self.branch_mispredicted = False
         self.mem_mispeculated = False
         self.mis_integrated = False
-        #: CHT prediction already counted for this dynamic load (the stat is
-        #: once per dynamic instruction, not once per issue poll).
-        self.cht_counted = False
-        #: Per-cycle cache of the load-issue probe: (cycle, addr, store).
-        self.load_probe = None
         self.fetch_cycle = -1
         self.rename_cycle = -1
         self.dispatch_cycle = -1

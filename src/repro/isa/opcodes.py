@@ -149,19 +149,43 @@ class OpInfo:
         # (repro.core.scheduler); both are functions of cls alone, so they
         # are precomputed here with the other per-opcode metadata.
         if cls is OpClass.LOAD:
-            port = "load"
+            port, port_code = "load", 2
         elif cls is OpClass.STORE:
-            port = "store"
+            port, port_code = "store", 3
         elif cls in (OpClass.IMUL, OpClass.FP_ADD, OpClass.FP_MUL,
                      OpClass.FP_DIV):
-            port = "complex"
+            port, port_code = "complex", 1
         else:
-            port = "simple"
+            port, port_code = "simple", 0
         object.__setattr__(self, "issue_port", port)
-        object.__setattr__(self, "issue_priority", 0 if cls in (
+        #: Int mirror of ``issue_port`` (indexes the scheduler's flat
+        #: per-port count/limit lists; see repro.core.window).
+        object.__setattr__(self, "port_code", port_code)
+        priority = 0 if cls in (
             OpClass.LOAD, OpClass.COND_BRANCH, OpClass.FP_ADD,
             OpClass.FP_MUL, OpClass.FP_DIV, OpClass.CALL_INDIRECT,
-            OpClass.INDIRECT_JUMP, OpClass.RETURN) else 1)
+            OpClass.INDIRECT_JUMP, OpClass.RETURN) else 1
+        object.__setattr__(self, "issue_priority", priority)
+        #: ``(priority << SEQ_BITS) | seq`` sorts by (priority, age) as a
+        #: plain int; the shifted half is precomputed here (SEQ_BITS = 48,
+        #: mirrored from repro.core.window to avoid an import cycle).
+        object.__setattr__(self, "sort_bias", priority << 48)
+        # Execute-stage dispatch code (repro.core.window KIND_* constants):
+        # the order the execute stage tests its cases in, flattened to an
+        # int so selection carries the dispatch decision with it.
+        if self.is_alu:
+            kind = 0
+        elif cls is OpClass.COND_BRANCH:
+            kind = 1
+        elif self.is_indirect_ctl:
+            kind = 2
+        elif cls is OpClass.LOAD:
+            kind = 3
+        elif cls is OpClass.STORE:
+            kind = 4
+        else:
+            kind = -1            # never enters the reservation stations
+        object.__setattr__(self, "kind_code", kind)
 
 
 _RR = dict(cls=OpClass.IALU, latency=1, num_srcs=2, has_imm=False)
@@ -236,6 +260,13 @@ OPINFO: dict = {
     Opcode.NOP: OpInfo(cls=OpClass.NOP, latency=1, num_srcs=0,
                        writes_dest=False, integrable=False),
 }
+
+# Stable small-int identity (the enum declaration position) used by the
+# integration-table index function; attached here so static instructions can
+# precompute their index key without hashing enum members per lookup.
+for _i, _op in enumerate(Opcode):
+    object.__setattr__(OPINFO[_op], "opcode_id", _i)
+del _i, _op
 
 # Mapping from store opcodes to the load opcode that reads back the stored
 # value.  Reverse integration uses this to create the complementary load

@@ -135,3 +135,46 @@ def narrow_store_value(op: Opcode, value):
     if op is Opcode.STL:
         return int(value) & MASK32
     return value
+
+
+# ----------------------------------------------------------------------
+# Precomputed per-opcode dispatch, attached to the shared OpInfo records.
+#
+# ``evaluate`` / ``branch_taken`` pay a dict probe (hashing an enum member)
+# per executed instruction; the hot loops instead read these attributes off
+# ``inst.info``, which they already hold:
+#
+# * ``eval_fn``      -- the evaluate handler, or None for non-ALU ops;
+# * ``eval_is_fp``   -- True when the handler is a float handler (integer
+#                       handlers need the wrong-path float->int coercion
+#                       that ``evaluate`` applies);
+# * ``branch_fn``    -- signed-condition test for conditional branches;
+# * ``is_ldl`` / ``is_stl`` -- the only opcodes with width narrowing.
+#
+# The semantics stay defined once, here; the attributes are only a
+# dispatch-table transposition.
+# ----------------------------------------------------------------------
+_BRANCH_FN = {
+    Opcode.BEQ: lambda sa: sa == 0,
+    Opcode.BNE: lambda sa: sa != 0,
+    Opcode.BLT: lambda sa: sa < 0,
+    Opcode.BLE: lambda sa: sa <= 0,
+    Opcode.BGT: lambda sa: sa > 0,
+    Opcode.BGE: lambda sa: sa >= 0,
+}
+
+
+def _attach_dispatch() -> None:
+    from repro.isa.opcodes import OPINFO
+
+    for op, info in OPINFO.items():
+        fp_fn = _FP_EVAL.get(op)
+        int_fn = _INT_EVAL.get(op)
+        object.__setattr__(info, "eval_fn", fp_fn or int_fn)
+        object.__setattr__(info, "eval_is_fp", fp_fn is not None)
+        object.__setattr__(info, "branch_fn", _BRANCH_FN.get(op))
+        object.__setattr__(info, "is_ldl", op is Opcode.LDL)
+        object.__setattr__(info, "is_stl", op is Opcode.STL)
+
+
+_attach_dispatch()

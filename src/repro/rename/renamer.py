@@ -85,29 +85,45 @@ class Renamer:
     def _record_old_mapping(self, dyn: DynInst, logical: int) -> None:
         dyn.old_dest_preg, dyn.old_dest_gen = self.map_table.get_raw(logical)
 
-    def allocate_dest(self, dyn: DynInst) -> Optional[RenameResult]:
+    def rename_dest(self, dyn: DynInst) -> int:
         """Conventionally rename the destination (claim a new register).
 
-        Returns ``None`` when no physical register is free (rename must
-        stall); a :class:`RenameResult` otherwise.  Instructions without a
-        register destination (stores, branches, writes to the zero register)
-        succeed trivially.
+        Returns ``-1`` when no physical register is free (rename must
+        stall), ``0`` for instructions without a register destination
+        (stores, branches, writes to the zero register), ``1`` when a
+        register was allocated.  The allocation-free int code is what the
+        per-instruction rename loop branches on.
         """
         dest = dyn.inst.dest
         if dest is None or is_zero_reg(dest):
             dyn.dest_preg = None
-            return RenameResult(allocated=False, integrated=False, preg=None,
-                                gen=0)
-        preg = self.prf.allocate()
+            return 0
+        prf = self.prf
+        preg = prf.allocate()
         if preg is None:
-            return None
-        self._record_old_mapping(dyn, dest)
-        gen = self.prf.gen[preg]
+            return -1
+        map_table = self.map_table
+        dyn.old_dest_preg, dyn.old_dest_gen = map_table.get_raw(dest)
+        gen = prf.gen[preg]
         dyn.dest_preg = preg
         dyn.dest_gen = gen
-        self.map_table.set(dest, preg, gen)
-        return RenameResult(allocated=True, integrated=False, preg=preg,
-                            gen=gen)
+        map_table.set(dest, preg, gen)
+        return 1
+
+    def allocate_dest(self, dyn: DynInst) -> Optional[RenameResult]:
+        """:meth:`rename_dest` wrapped in the richer result record.
+
+        Returns ``None`` when no physical register is free (rename must
+        stall); a :class:`RenameResult` otherwise.
+        """
+        code = self.rename_dest(dyn)
+        if code < 0:
+            return None
+        if code == 0:
+            return RenameResult(allocated=False, integrated=False, preg=None,
+                                gen=0)
+        return RenameResult(allocated=True, integrated=False,
+                            preg=dyn.dest_preg, gen=dyn.dest_gen)
 
     def integrate_dest(self, dyn: DynInst, preg: int, gen: int) -> bool:
         """Integrate: point the destination at an existing physical register.

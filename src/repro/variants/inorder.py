@@ -16,6 +16,7 @@ from typing import Callable, List
 from repro.core.builder import MachineBuilder
 from repro.core.config import MachineConfig
 from repro.core.scheduler import ReservationStations
+from repro.core.window import Window
 from repro.isa.instruction import DynInst
 from repro.rename.physical import PhysicalRegisterFile
 from repro.variants import register
@@ -69,6 +70,8 @@ class InOrderIssueVariant(MachineBuilder):
                    "stalled instruction blocks everything younger")
 
     def build_scheduler(self, config: MachineConfig,
-                        prf: PhysicalRegisterFile) -> ReservationStations:
+                        prf: PhysicalRegisterFile,
+                        window: Window) -> ReservationStations:
         return InOrderReservationStations(config.rs_entries, config.ports,
-                                          config.combined_ldst_port, prf=prf)
+                                          config.combined_ldst_port, prf=prf,
+                                          window=window)

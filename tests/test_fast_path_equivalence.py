@@ -1,0 +1,184 @@
+"""Fast-path vs slow-path engine equivalence (hypothesis cross-check).
+
+The engine has two per-cycle drivers: the fused quiescent-skipping loop
+(:meth:`Processor._run_phase_fast`, the default) and the generic
+``Stage``-protocol loop (``REPRO_FAST_PATH=0``).  It also has two scheduler
+inner-loop backends (``REPRO_KERNEL=py|compiled``).  All combinations must
+be **cycle-for-cycle identical**: same cycle count, same per-cycle RS
+occupancy samples, same squash/recovery behaviour, same integration
+statistics -- on arbitrary programs and on every registered machine
+variant.
+
+These tests drive both engines over the same program and compare a
+fingerprint of every order-sensitive counter.  The workload-based cases are
+chosen so mid-run recovery actually happens (mispredicted branches and
+memory-order violations both squash), which the tests assert rather than
+assume.
+"""
+
+import os
+from contextlib import contextmanager
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+import pytest
+
+from repro.core import MachineConfig, simulate
+from repro.integration.config import IntegrationConfig
+from repro.isa import ProgramBuilder
+from repro.variants import variant_names
+from repro.workloads import build_workload
+
+
+def _sorted_items(counter):
+    """Deterministic Counter ordering (keys may be enums, which don't sort)."""
+    return tuple(sorted(counter.items(), key=lambda kv: str(kv[0])))
+
+
+def _fingerprint(stats):
+    """Every counter whose value depends on per-cycle event order."""
+    return (
+        stats.cycles, stats.fetched, stats.renamed, stats.retired,
+        stats.squashed, stats.issued, stats.executed_loads,
+        stats.executed_stores, stats.rs_occupancy_sum,
+        stats.rs_occupancy_samples, stats.retired_branches,
+        stats.retired_mispredicted_branches,
+        stats.branch_resolution_latency_sum, stats.memory_order_violations,
+        stats.cht_hits, stats.cht_trainings, stats.integrated_direct,
+        stats.integrated_reverse, stats.mis_integrations,
+        stats.load_mis_integrations, stats.register_mis_integrations,
+        stats.lisp_suppressed, stats.refcount_saturation_failures,
+        _sorted_items(stats.integration_by_type),
+        _sorted_items(stats.integration_distance),
+        _sorted_items(stats.integration_status),
+        _sorted_items(stats.retired_by_type),
+    )
+
+
+@contextmanager
+def _env(**overrides):
+    """Set/unset environment variables for the duration of one run.
+
+    A plain context manager (not the monkeypatch fixture) so it can be used
+    inside hypothesis-driven tests, which reuse function-scoped fixtures
+    across examples.
+    """
+    saved = {key: os.environ.get(key) for key in overrides}
+    try:
+        for key, value in overrides.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _run_both(program, config, name="equiv"):
+    """Simulate once per engine driver and return both stats.
+
+    The slow run also forces the pure-Python kernel, so a single comparison
+    covers both the fused-loop/generic-loop and the compiled/py-kernel
+    seams (each run is deterministic, so any divergence on either axis
+    shows up as a fingerprint mismatch).
+    """
+    with _env(REPRO_FAST_PATH="1", REPRO_KERNEL=None):
+        fast = simulate(program, config, name=name)
+    with _env(REPRO_FAST_PATH="0", REPRO_KERNEL="py"):
+        slow = simulate(program, config, name=name)
+    return fast, slow
+
+
+@st.composite
+def branchy_programs(draw):
+    """Random programs with data-dependent branches and aliasing memory.
+
+    Conditional branches over skipped filler give the predictor real
+    mispredictions (squash + recovery at execute); loads and stores share a
+    small window of ``gp``-relative slots so store-load ordering logic is
+    exercised too.  All branches are forward, so every program terminates.
+    """
+    builder = ProgramBuilder(name="random-branchy")
+    regs = ["t0", "t1", "t2", "t3", "s0", "s1"]
+    builder.label("main")
+    for reg in regs:
+        builder.li(reg, draw(st.integers(min_value=0, max_value=255)))
+    blocks = draw(st.integers(min_value=2, max_value=5))
+    for block in range(blocks):
+        for _ in range(draw(st.integers(min_value=1, max_value=8))):
+            kind = draw(st.integers(min_value=0, max_value=3))
+            rd = draw(st.sampled_from(regs))
+            ra = draw(st.sampled_from(regs))
+            if kind == 0:
+                op = draw(st.sampled_from(["addq", "subq", "xor", "and",
+                                           "or", "cmplt"]))
+                builder.rr(op, rd, ra, draw(st.sampled_from(regs)))
+            elif kind == 1:
+                op = draw(st.sampled_from(["addqi", "subqi", "xori", "slli"]))
+                builder.ri(op, rd, ra, draw(st.integers(min_value=1,
+                                                        max_value=15)))
+            elif kind == 2:
+                offset = 8 * draw(st.integers(min_value=0, max_value=7))
+                builder.stq(ra, offset, "gp")
+            else:
+                offset = 8 * draw(st.integers(min_value=0, max_value=7))
+                builder.load("ldq", rd, offset, "gp")
+        op = draw(st.sampled_from(["beq", "bne", "blt", "bge"]))
+        builder.cbr(op, draw(st.sampled_from(regs)), f"join{block}")
+        for _ in range(draw(st.integers(min_value=1, max_value=4))):
+            builder.ri("addqi", draw(st.sampled_from(regs)),
+                       draw(st.sampled_from(regs)), 1)
+        builder.label(f"join{block}")
+    builder.mov("a0", draw(st.sampled_from(regs)))
+    builder.syscall(0)
+    return builder.build(entry="main")
+
+
+class TestFastPathEquivalence:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(program=branchy_programs())
+    def test_random_programs_match_cycle_for_cycle(self, program):
+        config = MachineConfig().with_integration(IntegrationConfig.full())
+        fast, slow = _run_both(program, config)
+        assert _fingerprint(fast) == _fingerprint(slow)
+
+    @pytest.mark.parametrize("variant", variant_names())
+    def test_every_variant_matches_on_real_workload(self, variant):
+        program = build_workload("gzip", scale=0.05)
+        config = (MachineConfig()
+                  .with_integration(IntegrationConfig.full())
+                  .with_variant(variant))
+        fast, slow = _run_both(program, config,
+                               name=f"equiv-{variant}")
+        assert _fingerprint(fast) == _fingerprint(slow)
+
+    def test_equivalence_covers_midrun_recovery(self):
+        """The workload comparison is only meaningful if recovery fires."""
+        program = build_workload("crafty", scale=0.05)
+        config = MachineConfig().with_integration(IntegrationConfig.full())
+        fast, slow = _run_both(program, config,
+                               name="equiv-recovery")
+        assert fast.squashed > 0, "no mid-run squash exercised"
+        assert fast.retired_mispredicted_branches > 0
+        assert _fingerprint(fast) == _fingerprint(slow)
+
+    def test_integration_disabled_matches_too(self):
+        program = build_workload("mcf", scale=0.05)
+        config = MachineConfig().with_integration(
+            IntegrationConfig.disabled())
+        fast, slow = _run_both(program, config,
+                               name="equiv-none")
+        assert _fingerprint(fast) == _fingerprint(slow)
+
+    def test_bad_kernel_mode_rejected_with_one_liner(self):
+        from repro.core.kernel import KernelEnvError, select_backend
+        with _env(REPRO_KERNEL="bogus"):
+            with pytest.raises(KernelEnvError) as excinfo:
+                select_backend()
+        assert issubclass(KernelEnvError, SystemExit)
+        assert "REPRO_KERNEL='bogus'" in str(excinfo.value)
