@@ -36,17 +36,17 @@ class KernelEnvError(SystemExit):
     of a traceback, while still being catchable in library use.
     """
 
-    def __init__(self, value: str):
+    def __init__(self, value: str) -> None:
         self.value = value
         super().__init__(
             f"REPRO_KERNEL={value!r}: expected 'py', 'compiled' or 'auto'")
 
 
-_compiled = None
-_compiled_checked = False
+_compiled: Optional[object] = None
+_compiled_checked: bool = False
 
 
-def _load_compiled():
+def _load_compiled() -> Optional[object]:
     """Import (once) and sanity-check the C extension; None if unusable."""
     global _compiled, _compiled_checked
     if _compiled_checked:

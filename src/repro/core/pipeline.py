@@ -43,6 +43,14 @@ from repro.functional.state import ArchState
 from repro.isa.program import Program
 
 
+def fast_path_enabled() -> bool:
+    """Validated accessor for ``REPRO_FAST_PATH`` (the only place it is
+    read): any value but ``0`` keeps the fused quiescent-skipping driver
+    available; ``0`` forces the generic :meth:`Processor.step` loop for
+    equivalence testing."""
+    return os.environ.get("REPRO_FAST_PATH", "1") != "0"
+
+
 class Processor:
     """Cycle-level model of the paper's 4-way superscalar machine."""
 
@@ -130,7 +138,7 @@ class Processor:
         through a bound PRF.  ``REPRO_FAST_PATH=0`` forces the generic loop
         for equivalence testing.
         """
-        return (os.environ.get("REPRO_FAST_PATH", "1") != "0"
+        return (fast_path_enabled()
                 and type(self.front_end) is FrontEnd
                 and type(self.rename_integrate) is RenameIntegrate
                 and type(self.issue_execute) is IssueExecute

@@ -31,6 +31,11 @@ so aliasing can only ever surface as a loud error, not silent corruption.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:
+    from repro.core.config import MachineConfig
+
 __all__ = ["Window", "SEQ_BITS", "SEQ_MASK",
            "PORT_SIMPLE", "PORT_COMPLEX", "PORT_LOAD", "PORT_STORE",
            "KIND_ALU", "KIND_BRANCH", "KIND_INDIRECT", "KIND_LOAD",
@@ -79,7 +84,7 @@ class Window:
     #: far larger than any live span such callers produce.
     STANDALONE_CAPACITY = 4096
 
-    def __init__(self, capacity: int = STANDALONE_CAPACITY):
+    def __init__(self, capacity: int = STANDALONE_CAPACITY) -> None:
         cap = _next_pow2(max(2, capacity))
         self.capacity = cap
         self.mask = cap - 1
@@ -92,18 +97,18 @@ class Window:
         self.dest = [0] * cap
         self.pending = [0] * cap
         self.mem_is_store = [False] * cap
-        self.mem_addr = [None] * cap
+        self.mem_addr: List[Optional[int]] = [None] * cap
         self.mem_data_ready = [False] * cap
         self.mem_executed = [False] * cap
         self.probe_cycle = [-1] * cap
         self.probe_addr = [0] * cap
-        self.probe_store = [None] * cap
+        self.probe_store: List[Optional[bool]] = [None] * cap
         #: CHT prediction already counted for this dynamic load (the stat
         #: is once per dynamic instruction, not once per issue poll).
         self.cht_counted = [False] * cap
 
     @classmethod
-    def for_config(cls, config) -> "Window":
+    def for_config(cls, config: "MachineConfig") -> "Window":
         """Size a window for one machine: every live scheduler/LSQ entry sits
         in the reorder buffer, so the live ``seq`` span is bounded by how far
         fetch can run ahead of a stalled head; a 16x safety factor over the

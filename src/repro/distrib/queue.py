@@ -172,7 +172,7 @@ class JobQueue:
 
     def __init__(self, root: Optional[Path] = None,
                  lease_ttl: Optional[float] = None,
-                 max_attempts: int = DEFAULT_MAX_ATTEMPTS):
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
         self.root = Path(root) if root is not None else default_queue_dir()
         self.lease_ttl = (default_lease_ttl() if lease_ttl is None
                           else float(lease_ttl))

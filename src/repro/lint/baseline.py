@@ -1,0 +1,57 @@
+"""The committed baseline of grandfathered lint findings.
+
+Format: one tab-separated ``rule<TAB>path<TAB>message`` entry per line
+(no line numbers -- see :meth:`repro.lint.engine.Finding.baseline_key`),
+``#`` comments and blank lines ignored.  The file exists so a *new* rule
+can land as a blocking check while its pre-existing findings are paid down
+over time; intentional, permanent violations belong in inline
+``lint-ok[...]`` suppressions with a justification, not here, and the
+repository's committed baseline should stay empty.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from repro.lint.engine import Finding
+
+#: Default baseline location, relative to the project root.
+BASELINE_NAME = "lint-baseline.txt"
+
+_HEADER = """\
+# repro lint baseline -- grandfathered findings, one per line:
+#   rule<TAB>path<TAB>message
+# Entries are line-number free so unrelated edits do not churn them.
+# Policy (docs/ARCHITECTURE.md): only pre-existing findings of a newly
+# landed rule belong here; intentional violations get an inline
+# `# repro: lint-ok[rule] <why>` instead.  Keep this file empty.
+"""
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Baseline keys from ``path``; an absent file is an empty baseline."""
+    keys: Set[str] = set()
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return keys
+    for raw in text.splitlines():
+        line = raw.rstrip("\n")
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        if line.count("\t") < 2:
+            raise ValueError(
+                f"{path}: malformed baseline entry {line!r} "
+                f"(expected rule<TAB>path<TAB>message)")
+        keys.add(line)
+    return keys
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` (plus the header) as the new baseline; returns
+    the number of entries written."""
+    entries: List[str] = sorted({f.baseline_key() for f in findings})
+    body = _HEADER + "".join(entry + "\n" for entry in entries)
+    Path(path).write_text(body, encoding="utf-8")
+    return len(entries)

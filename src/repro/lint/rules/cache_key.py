@@ -1,0 +1,180 @@
+"""Rule ``cache-key``: every config field must reach the fingerprint.
+
+The content-addressed result cache keys on ``MachineConfig.fingerprint()``.
+A configuration field that exists on the dataclass but does not perturb the
+fingerprint is a *silent cache collision*: two different machines resolve
+to the same cached result and every downstream figure is quietly wrong.
+That is exactly the pre-PR1 ``_config_key`` bug -- the hand-maintained key
+tuple skipped the memory-system and branch-predictor sub-configs -- and it
+is invisible to runtime tests unless one happens to sweep the skipped
+field.
+
+The rule walks the live configuration tree (the root class plus every
+nested config dataclass reachable from its defaults) and checks, for every
+declared field:
+
+* **schema coverage** -- the field appears in the instance's canonical
+  ``to_dict()`` rendering, or is legitimately elided (named in the class's
+  ``_ELIDE_DEFAULT`` and carrying a default value);
+* **fingerprint sensitivity** -- perturbing the field on a default
+  instance (``int + 1``, ``not bool``, another enum member, ...) changes
+  ``fingerprint()``.
+
+Unlike the pure-AST rules this one imports the config classes: schema
+participation is a property of the *running* serializer (including any
+``to_dict``/``fingerprint`` overrides, which is how the historical bug
+shape manifests), so a static field listing cannot prove it.  When the
+linted tree is not the live ``repro`` package (fixture projects), the rule
+reports itself not applicable; the fixture tests inject a loader instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import inspect
+from pathlib import Path
+from typing import Any, Callable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import Finding
+from repro.lint.project import Project
+
+
+def _live_tree_loader(project: Project) -> Optional[type]:
+    """The root config class, but only when ``project`` is the checkout the
+    imported ``repro`` package actually runs from."""
+    import repro
+
+    package = Path(repro.__file__).resolve().parent
+    if package != (project.root / "src" / "repro").resolve():
+        return None
+    from repro.core.config import MachineConfig
+
+    return MachineConfig
+
+
+def _perturb(value: Any) -> Tuple[bool, Any]:
+    """A value guaranteed different from ``value`` (ok, new_value)."""
+    if isinstance(value, bool):
+        return True, not value
+    if isinstance(value, int):
+        return True, value + 1
+    if isinstance(value, float):
+        return True, value + 1.0
+    if isinstance(value, str):
+        return True, value + "~lint"
+    if isinstance(value, enum.Enum):
+        members = list(type(value))
+        others = [m for m in members if m is not value]
+        if others:
+            return True, others[0]
+        return False, value
+    return False, value
+
+
+class CacheKeyRule:
+    id = "cache-key"
+    description = ("every field of every config dataclass participates in "
+                   "the canonical to_dict()/fingerprint() schema")
+
+    def __init__(self, loader: Optional[Callable[[Project], Optional[type]]]
+                 = None):
+        self._loader = loader or _live_tree_loader
+
+    def applicable(self, project: Project) -> bool:
+        try:
+            return self._loader(project) is not None
+        except Exception:
+            return False
+
+    # ------------------------------------------------------------------
+    def _anchor(self, project: Project, cls: type) -> Tuple[str, int]:
+        """(path, line) of the class definition, best effort."""
+        try:
+            path = inspect.getsourcefile(cls)
+            _, lineno = inspect.getsourcelines(cls)
+        except (OSError, TypeError):
+            return f"<{cls.__module__}>", 0
+        return project.rel(Path(path)) if path else f"<{cls.__module__}>", \
+            lineno
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        root_cls = self._loader(project)
+        if root_cls is None:
+            return
+        path, lineno = self._anchor(project, root_cls)
+        try:
+            instance = root_cls()
+        except Exception as exc:
+            yield Finding(path, lineno, self.id,
+                          f"{root_cls.__name__}: cannot instantiate with "
+                          f"defaults ({exc}); the rule needs a default "
+                          f"instance to audit the schema")
+            return
+        seen: Set[type] = set()
+        yield from self._check_instance(project, instance, seen)
+
+    def _check_instance(self, project: Project, instance: Any,
+                        seen: Set[type]) -> Iterator[Finding]:
+        """Audit one (sub)config instance; nested configs are audited on
+        the instances the parent's defaults carry, so subtree classes
+        without defaults of their own are reached too."""
+        cls = type(instance)
+        if cls in seen:
+            return
+        seen.add(cls)
+        path, lineno = self._anchor(project, cls)
+        try:
+            rendered = instance.to_dict()
+            base_fp = instance.fingerprint()
+        except Exception as exc:
+            yield Finding(path, lineno, self.id,
+                          f"{cls.__name__}: canonical serialization failed "
+                          f"({exc})")
+            return
+        elide = getattr(cls, "_ELIDE_DEFAULT", frozenset())
+        for f in dataclasses.fields(cls):
+            value = getattr(instance, f.name)
+            nested = (dataclasses.is_dataclass(value)
+                      and not isinstance(value, type))
+            if f.name not in rendered:
+                elided_ok = (not nested and f.name in elide
+                             and (f.default is not dataclasses.MISSING
+                                  or f.default_factory    # type: ignore[misc]
+                                  is not dataclasses.MISSING))
+                if not elided_ok:
+                    yield Finding(
+                        path, lineno, self.id,
+                        f"{cls.__name__}.{f.name}: declared field missing "
+                        f"from canonical to_dict() -- configs differing "
+                        f"only here share a fingerprint (cache collision)")
+                    if not nested:
+                        continue
+            # Nested configs are audited on their own instances; their
+            # fields reach the parent fingerprint through the nested dict.
+            if nested:
+                yield from self._check_instance(project, value, seen)
+                continue
+            if isinstance(value, (list, tuple)):
+                for item in value:
+                    if dataclasses.is_dataclass(item) and not isinstance(
+                            item, type):
+                        yield from self._check_instance(project, item, seen)
+                continue
+            ok, changed = _perturb(value)
+            if not ok:
+                continue
+            try:
+                mutated = dataclasses.replace(instance, **{f.name: changed})
+                mutated_fp = mutated.fingerprint()
+            except Exception:
+                # A validating __post_init__ rejected the probe value; the
+                # coverage check above already proved schema membership.
+                continue
+            if mutated_fp == base_fp:
+                yield Finding(
+                    path, lineno, self.id,
+                    f"{cls.__name__}.{f.name}: perturbing the field does "
+                    f"not change fingerprint() -- configs differing only "
+                    f"here share a cache entry (the pre-PR1 _config_key "
+                    f"bug shape)")

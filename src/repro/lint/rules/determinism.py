@@ -1,0 +1,145 @@
+"""Rule ``determinism``: the engine's state machine must be replayable.
+
+Bit-identical sharding, the content-addressed result cache and the golden
+pipeline tests all assume that simulating the same (program, config) twice
+-- in any process, on any host -- walks the exact same per-cycle state
+sequence.  Four constructs silently break that while passing every sampled
+runtime test, so inside the engine packages (``core/``, ``functional/``,
+``isa/``, ``variants/``) this rule flags:
+
+* **iteration over a set** (set literals, ``set()``/``frozenset()`` calls,
+  ``union``/``intersection``/``difference`` results) in a ``for`` loop or
+  comprehension -- set order is hash-seed dependent, so anything ordered
+  that the loop feeds (a list, a schedule, stats) diverges across
+  processes; wrap the iterable in ``sorted(...)`` instead;
+* **the global ``random`` module** -- its state is per-process and
+  unseeded; thread an explicitly seeded ``random.Random(seed)`` instead;
+* **wall-clock reads** (``time.time``/``monotonic``/``perf_counter``/
+  ``process_time``, ``datetime.now``/``utcnow``/``today``) -- timing must
+  never steer simulated state;
+* **``id(...)``** -- CPython addresses vary run to run, so using them as
+  keys or tie-breakers produces run-dependent orderings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.lint.engine import Finding
+from repro.lint.project import Project
+
+#: Engine packages whose state must replay bit-identically (relative to
+#: ``src/repro``).  The experiment/distrib layers legitimately read clocks
+#: and host identity, so they are deliberately out of scope.
+SCOPED_DIRS = ("core", "functional", "isa", "variants")
+
+_SET_METHODS = {"union", "intersection", "difference",
+                "symmetric_difference"}
+_CLOCK_CALLS = {
+    ("time", "time"), ("time", "monotonic"), ("time", "perf_counter"),
+    ("time", "process_time"), ("time", "localtime"), ("time", "time_ns"),
+    ("time", "monotonic_ns"), ("time", "perf_counter_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether ``node`` evaluates to a set with unordered iteration."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return True
+    return False
+
+
+class DeterminismRule:
+    id = "determinism"
+    description = ("no unordered-set iteration, global random, wall-clock "
+                   "reads or id() ordering inside the engine packages")
+
+    def applicable(self, project: Project) -> bool:
+        return any((project.package_root / d).is_dir() for d in SCOPED_DIRS)
+
+    def _scoped_files(self, project: Project):
+        for directory in SCOPED_DIRS:
+            base = project.package_root / directory
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                if "__pycache__" not in path.parts:
+                    yield path
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for path in self._scoped_files(project):
+            try:
+                tree = project.tree(path)
+            except SyntaxError as exc:
+                yield Finding(project.rel(path), exc.lineno or 0, self.id,
+                              f"syntax error: {exc.msg}")
+                continue
+            rel = project.rel(path)
+            yield from self._check_tree(tree, rel)
+
+    # ------------------------------------------------------------------
+    def _check_tree(self, tree: ast.Module, rel: str) -> Iterator[Finding]:
+        iter_exprs: List[Tuple[ast.expr, int]] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_exprs.append((node.iter, node.iter.lineno))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    iter_exprs.append((gen.iter, gen.iter.lineno))
+            elif isinstance(node, ast.Attribute):
+                if (isinstance(node.value, ast.Name)
+                        and node.value.id == "random"):
+                    # random.Random(seed) constructs an explicitly seeded
+                    # generator; everything else on the module is shared
+                    # unseeded per-process state.
+                    if node.attr != "Random":
+                        yield Finding(
+                            rel, node.lineno, self.id,
+                            f"global `random.{node.attr}` is unseeded "
+                            f"per-process state; thread a seeded "
+                            f"random.Random through instead")
+                elif (isinstance(node.value, ast.Name)
+                        and (node.value.id, node.attr) in _CLOCK_CALLS):
+                    yield Finding(
+                        rel, node.lineno, self.id,
+                        f"wall-clock read `{node.value.id}.{node.attr}` "
+                        f"inside the engine; simulated state must not "
+                        f"depend on host time")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Name) and func.id == "id"
+                        and len(node.args) == 1):
+                    yield Finding(
+                        rel, node.lineno, self.id,
+                        "`id(...)` varies across runs; never use object "
+                        "identity for keys or ordering in the engine")
+                elif (isinstance(func, ast.Name) and func.id == "Random"
+                        and not node.args and not node.keywords):
+                    yield Finding(
+                        rel, node.lineno, self.id,
+                        "`Random()` without a seed is nondeterministic; "
+                        "pass an explicit seed")
+                elif (isinstance(func, ast.Attribute)
+                        and func.attr == "Random"
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "random"
+                        and not node.args and not node.keywords):
+                    yield Finding(
+                        rel, node.lineno, self.id,
+                        "`random.Random()` without a seed is "
+                        "nondeterministic; pass an explicit seed")
+        for expr, lineno in iter_exprs:
+            if _is_set_expr(expr):
+                yield Finding(
+                    rel, lineno, self.id,
+                    "iterating over an unordered set feeds ordered state; "
+                    "wrap the iterable in sorted(...)")

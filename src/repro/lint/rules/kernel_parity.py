@@ -1,0 +1,197 @@
+"""Rule ``kernel-parity``: ``_kernel.c`` stays in lockstep with the window.
+
+The compiled scheduler kernel operates directly on the structure-of-arrays
+:class:`~repro.core.window.Window` state and bakes in its layout constants.
+Python-side renames or layout changes that miss the C side historically
+surface as a slow bisect of the fast/slow equivalence suite (or worse, as
+the silent pure-Python fallback when ``kernel.py``'s constant check
+refuses a stale build).  This rule fails lint at author time instead by
+cross-checking four things, all statically:
+
+1. every ``win.<field>`` the scheduler passes at its ``_kernel_select`` /
+   ``_kernel_wakeup`` call sites is a declared ``Window.__slots__`` entry
+   (catches a window rename that missed the scheduler);
+2. every such field name also appears as a token in ``_kernel.c`` (catches
+   a window+scheduler rename that missed the C side);
+3. every integer ``#define`` in ``_kernel.c`` that shadows a module-level
+   ``window.py`` constant (``SEQ_BITS``, ``PORT_LOAD``, ...) has the same
+   value, and the known layout constants are actually defined;
+4. every constant ``kernel.py`` verifies via ``getattr(_kernel, "X")`` is
+   exported by the C module (``PyModule_AddIntConstant``), so the loader's
+   stale-build detection cannot be silently hollowed out.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import Finding
+from repro.lint.project import Project
+
+WINDOW_PY = "src/repro/core/window.py"
+SCHEDULER_PY = "src/repro/core/scheduler.py"
+KERNEL_C = "src/repro/core/_kernel.c"
+KERNEL_PY = "src/repro/core/kernel.py"
+
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+([A-Z_][A-Z0-9_]*)\s+"
+                        r"\(?(-?\d+)\)?\s*$", re.MULTILINE)
+_ADD_CONST_RE = re.compile(r'PyModule_AddIntConstant\s*\(\s*\w+\s*,\s*'
+                           r'"([A-Za-z_][A-Za-z0-9_]*)"')
+_KERNEL_CALLS = ("_kernel_select", "_kernel_wakeup")
+
+
+def _window_constants(tree: ast.Module) -> Dict[str, int]:
+    """Module-level ``NAME = <int>`` assignments of window.py."""
+    constants: Dict[str, int] = {}
+    for node in tree.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+                and not isinstance(node.value.value, bool)):
+            constants[node.targets[0].id] = node.value.value
+    return constants
+
+
+def _window_slots(tree: ast.Module) -> Optional[Set[str]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "Window":
+            for stmt in node.body:
+                if (isinstance(stmt, ast.Assign)
+                        and any(isinstance(t, ast.Name)
+                                and t.id == "__slots__"
+                                for t in stmt.targets)
+                        and isinstance(stmt.value, (ast.Tuple, ast.List))):
+                    return {elt.value for elt in stmt.value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)}
+    return None
+
+
+def _window_locals(func: ast.AST) -> Set[str]:
+    """Local names bound to the window object inside one function
+    (``win = self.window`` / ``window = self.window``)."""
+    bound: Set[str] = set()
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "window"):
+            bound.add(node.targets[0].id)
+    return bound
+
+
+def _kernel_call_fields(tree: ast.Module) -> List[Tuple[str, int]]:
+    """(window_field, lineno) for every ``win.<field>`` argument passed at
+    a ``self._kernel_*`` call site in scheduler.py."""
+    fields: List[Tuple[str, int]] = []
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        window_names = _window_locals(func)
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _KERNEL_CALLS):
+                continue
+            for arg in node.args:
+                if (isinstance(arg, ast.Attribute)
+                        and isinstance(arg.value, ast.Name)
+                        and arg.value.id in window_names):
+                    fields.append((arg.attr, arg.lineno))
+                elif (isinstance(arg, ast.Attribute)
+                        and isinstance(arg.value, ast.Attribute)
+                        and arg.value.attr == "window"):
+                    fields.append((arg.attr, arg.lineno))
+    return fields
+
+
+def _kernel_py_checked_constants(tree: ast.Module) -> Set[str]:
+    """Constant names kernel.py reads off the extension module via
+    ``getattr(_kernel, "NAME", ...)``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "getattr" and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)):
+            names.add(node.args[1].value)
+    return names
+
+
+class KernelParityRule:
+    id = "kernel-parity"
+    description = ("_kernel.c field names and layout constants stay in "
+                   "lockstep with window.py and scheduler.py")
+
+    REQUIRED = (WINDOW_PY, SCHEDULER_PY, KERNEL_C)
+
+    def applicable(self, project: Project) -> bool:
+        return all(project.exists(rel) for rel in self.REQUIRED)
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        window_tree = project.tree(project.root / WINDOW_PY)
+        scheduler_tree = project.tree(project.root / SCHEDULER_PY)
+        c_source = project.source(project.root / KERNEL_C)
+
+        slots = _window_slots(window_tree)
+        if slots is None:
+            yield Finding(WINDOW_PY, 0, self.id,
+                          "Window class (or its literal __slots__ tuple) "
+                          "not found; the parity check needs the declared "
+                          "field list")
+            return
+        constants = _window_constants(window_tree)
+        c_tokens = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", c_source))
+
+        # 1 + 2: scheduler-passed window fields exist and reach the C side.
+        passed = _kernel_call_fields(scheduler_tree)
+        if not passed:
+            yield Finding(SCHEDULER_PY, 0, self.id,
+                          "no win.<field> arguments found at the "
+                          "_kernel_select/_kernel_wakeup call sites; the "
+                          "parity check cannot see the shared layout")
+        for field, lineno in passed:
+            if field not in slots:
+                yield Finding(
+                    SCHEDULER_PY, lineno, self.id,
+                    f"kernel call passes window field `{field}` which is "
+                    f"not in Window.__slots__ (renamed on one side only?)")
+            elif field not in c_tokens:
+                yield Finding(
+                    SCHEDULER_PY, lineno, self.id,
+                    f"kernel call passes window field `{field}` but "
+                    f"_kernel.c never mentions it; the C loop is out of "
+                    f"step with the scheduler")
+
+        # 3: shadowed #define values match window.py.
+        defines = {name: int(value)
+                   for name, value in _DEFINE_RE.findall(c_source)}
+        for name, value in sorted(defines.items()):
+            if name in constants and constants[name] != value:
+                yield Finding(
+                    KERNEL_C, 0, self.id,
+                    f"#define {name} {value} disagrees with window.py's "
+                    f"{name} = {constants[name]}")
+        for required in ("SEQ_BITS", "PORT_LOAD"):
+            if required in constants and required not in defines:
+                yield Finding(
+                    KERNEL_C, 0, self.id,
+                    f"layout constant {required} is not #defined in "
+                    f"_kernel.c (the compiled loops would be built "
+                    f"against an unchecked layout)")
+
+        # 4: the loader's stale-build check matches the exported constants.
+        if project.exists(KERNEL_PY):
+            kernel_tree = project.tree(project.root / KERNEL_PY)
+            exported = set(_ADD_CONST_RE.findall(c_source))
+            for name in sorted(_kernel_py_checked_constants(kernel_tree)):
+                if name in constants and name not in exported:
+                    yield Finding(
+                        KERNEL_PY, 0, self.id,
+                        f"kernel.py verifies `{name}` against the "
+                        f"extension but _kernel.c never exports it via "
+                        f"PyModule_AddIntConstant, so the stale-build "
+                        f"check always fails open to pure Python")

@@ -1,0 +1,70 @@
+"""Rule ``stats-merge``: ``SimStats`` must stay losslessly mergeable.
+
+Sharded runs recombine per-slice statistics with ``SimStats.merge()``,
+whose correctness rests on every field being one of exactly three shapes:
+
+* ``int`` counters -- merged by exact integer addition (associative,
+  commutative, identity 0);
+* ``Counter`` histograms -- merged element-wise (same algebra);
+* ``str`` identification fields -- merged as "first non-empty".
+
+A ``float`` accumulator would *almost* work -- and then sharded merges
+would stop being bit-identical across groupings, because float addition is
+not associative.  Lists, dicts, optionals and nested objects have no merge
+rule at all and would be silently mangled by the generic ``mine + theirs``
+arm.  The golden merge tests sample this; the rule proves it for every
+field at author time by checking the dataclass annotations of ``SimStats``
+in ``core/stats.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding
+from repro.lint.project import Project
+
+STATS_PY = "src/repro/core/stats.py"
+STATS_CLASS = "SimStats"
+
+#: Annotations merge() handles losslessly.
+ALLOWED = {"int", "Counter", "str"}
+
+
+class StatsMergeRule:
+    id = "stats-merge"
+    description = ("every SimStats field is int, Counter or str so "
+                   "merge() stays lossless and associative")
+
+    def applicable(self, project: Project) -> bool:
+        return project.exists(STATS_PY)
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        path = project.root / STATS_PY
+        tree = project.tree(path)
+        rel = project.rel(path)
+        stats_cls = None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == STATS_CLASS:
+                stats_cls = node
+                break
+        if stats_cls is None:
+            yield Finding(rel, 0, self.id,
+                          f"{STATS_CLASS} class not found in {STATS_PY}")
+            return
+        for stmt in stats_cls.body:
+            if not (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                continue
+            annotation = ast.unparse(stmt.annotation)
+            if annotation.startswith("ClassVar"):
+                continue  # not a dataclass field
+            if annotation in ALLOWED:
+                continue
+            yield Finding(
+                rel, stmt.lineno, self.id,
+                f"{STATS_CLASS}.{stmt.target.id}: annotation "
+                f"`{annotation}` is not losslessly mergeable -- merge() "
+                f"only preserves int (sum), Counter (element-wise sum) "
+                f"and str (first non-empty id) fields")

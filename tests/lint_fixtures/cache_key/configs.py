@@ -1,0 +1,107 @@
+"""Cache-key fixture dataclasses, audited via an injected loader.
+
+``BrokenKeyConfig`` reproduces the pre-PR1 ``_config_key`` bug shape: a
+hand-maintained serialization that silently skips declared fields, so two
+configs differing only in the skipped field share a cache identity.  The
+classes carry their own ``to_dict``/``fingerprint`` (the only surface the
+rule consumes) so the fixture does not depend on the real serializer.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+
+
+def _digest(payload):
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class GoodChild:
+    depth: int = 2
+    ways: int = 4
+
+    def to_dict(self):
+        return {"depth": self.depth, "ways": self.ways}
+
+    def fingerprint(self):
+        return _digest(self.to_dict())
+
+
+@dataclass(frozen=True)
+class GoodConfig:
+    """Every field reaches the canonical rendering and the fingerprint."""
+
+    width: int = 4
+    name: str = "base"
+    enabled: bool = True
+    child: GoodChild = field(default_factory=GoodChild)
+
+    def to_dict(self):
+        return {"width": self.width, "name": self.name,
+                "enabled": self.enabled, "child": self.child.to_dict()}
+
+    def fingerprint(self):
+        return _digest(self.to_dict())
+
+
+@dataclass(frozen=True)
+class ElidedConfig:
+    """Default-valued elision declared via _ELIDE_DEFAULT is legitimate."""
+
+    _ELIDE_DEFAULT = frozenset({"debug"})
+
+    width: int = 4
+    debug: bool = False
+
+    def to_dict(self):
+        out = {"width": self.width}
+        if self.debug:                       # elided at the default
+            out["debug"] = self.debug
+        return out
+
+    def fingerprint(self):
+        return _digest(self.to_dict())
+
+
+@dataclass(frozen=True)
+class BrokenKeyConfig:
+    """The pre-PR1 bug shape: ``assoc`` never reaches the rendering."""
+
+    size: int = 64
+    assoc: int = 2                           # skipped by to_dict()
+
+    def to_dict(self):
+        return {"size": self.size}
+
+    def fingerprint(self):
+        return _digest(self.to_dict())
+
+
+@dataclass(frozen=True)
+class BlindFingerprintConfig:
+    """Rendered but not hashed: perturbing ``ways`` keeps the key."""
+
+    size: int = 64
+    ways: int = 2
+
+    def to_dict(self):
+        return {"size": self.size, "ways": self.ways}
+
+    def fingerprint(self):
+        return _digest({"size": self.size})  # ignores ways
+
+
+@dataclass(frozen=True)
+class BrokenChildParent:
+    """Clean itself; the defect sits in a nested child without defaults."""
+
+    width: int = 4
+    child: BrokenKeyConfig = field(default_factory=BrokenKeyConfig)
+
+    def to_dict(self):
+        return {"width": self.width, "child": self.child.to_dict()}
+
+    def fingerprint(self):
+        return _digest(self.to_dict())

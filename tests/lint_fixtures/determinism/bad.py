@@ -1,0 +1,16 @@
+"""Determinism fixture: six nondeterministic constructs, one per line."""
+
+import random
+import time
+
+
+def unreplayable(items, extra):
+    out = []
+    for item in set(items):                  # unordered-set iteration
+        out.append(item)
+    order = [x for x in items.union(extra)]  # set-method iteration
+    jitter = random.random()                 # global random module
+    stamp = time.time()                      # wall-clock read
+    rng = random.Random()                    # unseeded Random()
+    tie = id(items)                          # object-identity ordering
+    return out, order, jitter, stamp, rng, tie

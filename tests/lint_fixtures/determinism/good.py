@@ -1,0 +1,12 @@
+"""Determinism fixture: every construct here is replayable."""
+
+import random
+
+
+def ordered(items, extra):
+    out = []
+    for item in sorted(set(items)):          # sorted() restores an order
+        out.append(item)
+    merged = [x for x in sorted(items.union(extra))]
+    rng = random.Random(1234)                # explicitly seeded generator
+    return out, merged, rng.random()

@@ -1,0 +1,18 @@
+"""Env-var fixture: reads outside the accessor convention."""
+
+import os
+
+
+def sneaky_read():
+    # Direct read of a registered variable outside its accessor.
+    return os.environ.get("REPRO_TEST_KNOB", "0")
+
+
+def unregistered_read():
+    # A REPRO_* variable with no registered accessor at all.
+    return os.getenv("REPRO_MYSTERY_KNOB")
+
+
+def dynamic_read(name):
+    # Dynamic name outside the registered generic accessors.
+    return os.environ[name]

@@ -1,0 +1,15 @@
+"""Env-var fixture: the registered accessor, plus an allowed write."""
+
+import os
+
+ENV_TEST_KNOB = "REPRO_TEST_KNOB"
+
+
+def test_knob():
+    """The registered (and only) reader of REPRO_TEST_KNOB."""
+    return os.environ.get(ENV_TEST_KNOB, "0")
+
+
+def route_to_worker():
+    # Writes are allowed anywhere; the convention governs interpretation.
+    os.environ["REPRO_TEST_KNOB"] = "1"

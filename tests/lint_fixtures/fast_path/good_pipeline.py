@@ -1,0 +1,32 @@
+"""Fast-path fixture: sound dispatch set and guards (no findings)."""
+
+from repro.core.stages.stages import (CommitDiva, FrontEnd, IssueExecute,
+                                      RenameIntegrate)
+from repro.core.support import PipelineState
+
+
+class Processor:
+    def __init__(self):
+        self.state = PipelineState()
+        self.front_end = FrontEnd()
+        self.rename_integrate = RenameIntegrate()
+        self.issue_execute = IssueExecute()
+        self.commit_diva = CommitDiva()
+
+    def _fast_path_eligible(self):
+        return (type(self.front_end) is FrontEnd
+                and type(self.rename_integrate) is RenameIntegrate
+                and type(self.issue_execute) is IssueExecute
+                and type(self.commit_diva) is CommitDiva
+                and self.state.rs._prf is not None)
+
+    def _run_phase_fast(self, budget):
+        state = self.state
+        arch = state.arch
+        stats = state.stats
+        execute = self.issue_execute
+        while not arch.halted:
+            if budget is not None and stats.retired >= budget:
+                break
+            if state.rs._ready:
+                execute.tick()

@@ -1,0 +1,24 @@
+"""Fast-path fixture: the stock stage classes (placed under stages/)."""
+
+
+class FrontEnd:
+    def tick(self):
+        pass
+
+
+class RenameIntegrate:
+    def tick(self):
+        pass
+
+
+class IssueExecute:
+    def tick(self):
+        pass
+
+    def writeback(self):
+        pass
+
+
+class CommitDiva:
+    def tick(self):
+        pass

@@ -1,0 +1,26 @@
+"""Fast-path fixture: the engine-state classes the fused guards read."""
+
+
+class ArchState:
+    def __init__(self):
+        self.halted = False
+
+
+class SimStats:
+    def __init__(self):
+        self.retired = 0
+
+
+class ReservationStations:
+    def __init__(self):
+        self._ready = []
+        self._waiting = {}
+        self._prf = None
+        self.occupancy = 0
+
+
+class PipelineState:
+    def __init__(self):
+        self.arch = ArchState()
+        self.stats = SimStats()
+        self.rs = ReservationStations()

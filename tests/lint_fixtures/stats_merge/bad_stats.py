@@ -1,0 +1,14 @@
+"""Stats-merge fixture: two fields merge() cannot preserve."""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class SimStats:
+    benchmark: str = ""
+    retired: int = 0
+    ipc: float = 0.0                          # float sums aren't associative
+    trace: List[int] = field(default_factory=list)   # no merge rule at all
+    opcode_mix: Counter = field(default_factory=Counter)

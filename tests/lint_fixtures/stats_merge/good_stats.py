@@ -1,0 +1,15 @@
+"""Stats-merge fixture: every field is losslessly mergeable."""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+
+@dataclass
+class SimStats:
+    SCHEMA_VERSION: ClassVar[int] = 1        # not a dataclass field
+
+    benchmark: str = ""
+    retired: int = 0
+    cycles: int = 0
+    opcode_mix: Counter = field(default_factory=Counter)
