@@ -6,6 +6,7 @@ Subcommands::
     repro figures  -- regenerate the paper's figure/table reports
     repro submit   -- publish a sweep to the distributed work queue
     repro worker   -- drain jobs from the queue (run any number of these)
+    repro fleet    -- supervise N workers: restart-on-crash, graceful drain
     repro status   -- queue depth, lease ages, per-worker throughput
     repro profile  -- cProfile the simulator's hot path
     repro variants -- list the registered machine variants
@@ -122,6 +123,8 @@ def _print_summary(verbose: bool = False) -> None:
         line += f", {t.remote_jobs} remote jobs"
     if t.leases_reclaimed:
         line += f", {t.leases_reclaimed} leases reclaimed"
+    if t.corrupt_quarantined:
+        line += f", {t.corrupt_quarantined} corrupt quarantined"
     print(line)
     if verbose:
         print(f"  local simulations:   {t.simulations}")
@@ -131,6 +134,10 @@ def _print_summary(verbose: bool = False) -> None:
         print(f"  memory hits:         {t.memory_hits}")
         print(f"  disk hits:           {t.disk_hits}")
         print(f"  memory evictions:    {t.memory_evictions}")
+        print(f"  io retries:          {t.io_retries}")
+        print(f"  corrupt quarantined: {t.corrupt_quarantined}")
+        print(f"  cache degraded:      {t.cache_degraded}")
+        print(f"  fenced publishes:    {t.fenced}")
 
 
 def _check_shards(args: argparse.Namespace) -> None:
@@ -270,18 +277,121 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.distrib import run_worker
     from repro.experiments.cache import ResultCache
+    from repro.reliability import SimulatedCrash
 
-    summary = run_worker(
-        queue=_queue_from(args),
-        cache=ResultCache(),
-        max_jobs=args.max_jobs,
-        idle_timeout=args.idle_timeout,
-        poll_interval=args.poll_interval,
-        log=None if args.quiet else print,
-    )
+    stop = threading.Event()
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM,
+                                 lambda _sig, _frame: stop.set())
+    except ValueError:
+        pass                     # not the main thread (library/test use)
+    try:
+        summary = run_worker(
+            queue=_queue_from(args),
+            cache=ResultCache(),
+            max_jobs=args.max_jobs,
+            idle_timeout=args.idle_timeout,
+            poll_interval=args.poll_interval,
+            log=None if args.quiet else print,
+            stop=stop,
+        )
+    except SimulatedCrash as crash:
+        # An injected crash must look like a real one to supervisors
+        # (distinct nonzero exit, no summary, protocol state abandoned),
+        # minus the traceback noise.
+        print(f"repro: worker crashed: {crash}", file=sys.stderr)
+        return 70
+    finally:
+        # Restore the inherited handler: an embedding process (tests,
+        # library use) must not keep a handler bound to this worker's
+        # stale stop event -- forked children would inherit it and
+        # swallow real SIGTERMs (e.g. multiprocessing Pool.terminate).
+        if previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous)
+            except ValueError:
+                pass
     return 1 if summary.failed and not summary.jobs_done else 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Supervise a fleet of ``repro worker`` subprocesses.
+
+    Workers that drain (exit 0) are done; workers that crash are
+    restarted with exponential backoff up to ``--max-restarts``, with
+    ``REPRO_FAULTS`` stripped from restarted children so an injected
+    one-shot crash schedule cannot re-fire forever.  SIGTERM (and Ctrl-C)
+    forwards a graceful stop to every child and escalates to SIGKILL
+    after ``--grace`` seconds.
+    """
+    import os
+    import signal
+    import subprocess
+
+    from repro.reliability import ENV_FAULTS, FleetSupervisor
+
+    if args.workers < 1:
+        raise SystemExit(f"invalid --workers {args.workers}: must be >= 1")
+    queue = _queue_from(args)
+    command = [sys.executable, "-m", "repro", "worker",
+               "--poll-interval", str(args.poll_interval)]
+    if args.queue_dir:
+        command += ["--queue-dir", args.queue_dir]
+    if args.lease_ttl is not None:
+        command += ["--lease-ttl", str(args.lease_ttl)]
+    if args.idle_timeout is not None:
+        command += ["--idle-timeout", str(args.idle_timeout)]
+    if args.max_jobs is not None:
+        command += ["--max-jobs", str(args.max_jobs)]
+    if args.quiet:
+        command += ["--quiet"]
+
+    def spawn(index: int, clean: bool):
+        env = dict(os.environ)
+        if clean:
+            env.pop(ENV_FAULTS, None)
+        return subprocess.Popen(command, env=env)
+
+    supervisor = FleetSupervisor(
+        count=args.workers, spawn=spawn, max_restarts=args.max_restarts,
+        grace=args.grace,
+        log=None if args.quiet else
+        (lambda message: print(message, file=sys.stderr)))
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(
+                signum, lambda _sig, _frame: supervisor.stop())
+        except ValueError:
+            pass                 # not the main thread (library/test use)
+    try:
+        print(f"fleet: {args.workers} worker(s) draining {queue.root}")
+        summary = supervisor.run()
+    finally:
+        # Restore inherited handlers so an embedding process is not left
+        # with handlers bound to this (finished) supervisor.
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:
+                pass
+    print(f"fleet: {summary.describe()}")
+    return 0 if summary.ok else 1
+
+
+def _num(value: object, cast, default):
+    """Defensive numeric conversion for operator-facing status output:
+    a corrupt stats file must degrade a line, never traceback the CLI."""
+    try:
+        return cast(value)
+    except (TypeError, ValueError):
+        return default
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -297,6 +407,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
         return 0
     status = queue.status()
     print(f"queue:    {status.root}")
+    if not queue.root.is_dir():
+        print("(queue directory does not exist yet: nothing submitted)")
     print(f"pending:  {status.pending}")
     print(f"claimed:  {status.claimed}")
     print(f"done:     {status.done}")
@@ -311,13 +423,14 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
         now = _time.time()
         for name, stats in sorted(status.workers.items()):
-            done = (int(stats.get("executed", 0))
-                    + int(stats.get("cache_hits", 0)))
-            elapsed = max(1e-9, now - float(stats.get("started_at", now)))
+            done = (_num(stats.get("executed", 0), int, 0)
+                    + _num(stats.get("cache_hits", 0), int, 0))
+            started = _num(stats.get("started_at", now), float, now)
+            elapsed = max(1e-9, now - started)
             rate = 60.0 * done / elapsed
             print(f"  {name:<28} {done:>5} job(s)  {rate:7.1f} jobs/min  "
-                  f"failed {int(stats.get('failed', 0))}  "
-                  f"reclaimed {int(stats.get('reclaimed', 0))}")
+                  f"failed {_num(stats.get('failed', 0), int, 0)}  "
+                  f"reclaimed {_num(stats.get('reclaimed', 0), int, 0)}")
     if status.dead:
         print("dead letters:")
         for dead in queue.dead_jobs():
@@ -447,6 +560,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"cache root:   {info['root']}")
         print(f"enabled:      {info['enabled']}")
         print(f"entries:      {info['entries']}")
+        if info.get("corrupt"):
+            print(f"corrupt:      {info['corrupt']} (quarantined)")
         print(f"size:         {info['bytes'] / 1024:.1f} KiB")
         print(f"code version: {info['code_version']}")
     elif args.cache_action == "clear":
@@ -587,6 +702,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_wrk.add_argument("--quiet", action="store_true",
                        help="suppress per-job log lines")
     p_wrk.set_defaults(func=_cmd_worker)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="supervise N workers: restart-on-crash, graceful SIGTERM drain")
+    _add_queue_args(p_fleet)
+    p_fleet.add_argument("-n", "--workers", type=int, default=2, metavar="N",
+                         help="worker subprocesses to supervise (default: 2)")
+    p_fleet.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                         help="per-worker job bound (default: unbounded)")
+    p_fleet.add_argument("--idle-timeout", type=float, default=None,
+                         metavar="S",
+                         help="per-worker idle exit, i.e. the fleet drains "
+                              "and stops S seconds after the queue empties "
+                              "(default: run forever)")
+    p_fleet.add_argument("--poll-interval", type=float, default=0.2,
+                         metavar="S",
+                         help="worker idle poll period (default: 0.2s)")
+    p_fleet.add_argument("--max-restarts", type=int, default=5, metavar="N",
+                         help="crash restarts per worker slot before "
+                              "giving up (default: 5)")
+    p_fleet.add_argument("--grace", type=float, default=5.0, metavar="S",
+                         help="SIGTERM drain window before SIGKILL "
+                              "(default: 5s)")
+    p_fleet.add_argument("--quiet", action="store_true",
+                         help="suppress supervisor and worker log lines")
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_st = sub.add_parser(
         "status", help="show queue depth, lease ages and worker throughput")

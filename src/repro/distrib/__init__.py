@@ -37,6 +37,7 @@ from repro.distrib.queue import (
     DEFAULT_LEASE_TTL,
     DeadJob,
     JobQueue,
+    LeaseLostError,
     QueueStatus,
     default_queue_dir,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "DistributedBackend",
     "ExecutionBackend",
     "JobQueue",
+    "LeaseLostError",
     "PoolBackend",
     "QueueStatus",
     "SerialBackend",

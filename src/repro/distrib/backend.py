@@ -31,6 +31,7 @@ tests pin that.
 from __future__ import annotations
 
 import os
+import sys
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Protocol, Tuple, Union
@@ -40,6 +41,11 @@ from repro.distrib.queue import JobQueue, job_id_for, worker_identity
 
 BACKEND_NAMES = ("serial", "pool", "distributed")
 ENV_BACKEND = "REPRO_BACKEND"
+
+#: Ceiling for the distributed wait-loop's adaptive poll interval: idle
+#: polls back off exponentially from ``poll_interval`` up to this, and
+#: any progress (a claim, a resolved key) resets the backoff.
+POLL_INTERVAL_CAP = 5.0
 
 #: One plannable job, as built by ``run_suite``:
 #: (key, benchmark, config, scale, use_cache, slice_spec, checkpoint).
@@ -141,6 +147,12 @@ class DistributedBackend:
     ``repro submit`` when a dedicated fleet does the work.  ``timeout``
     bounds the wait (None = forever); dead-lettered jobs abort the wait
     with their failure history rather than hanging it.
+
+    Degradation: when the queue root is unusable (submission itself fails
+    with an ``OSError`` that survives the retries), the run falls back to
+    an in-process :class:`PoolBackend` of ``fallback_jobs`` workers with a
+    one-line warning instead of dying -- the sweep completes, it just
+    stops being distributed.
     """
 
     name = "distributed"
@@ -149,12 +161,14 @@ class DistributedBackend:
                  lease_ttl: Optional[float] = None,
                  poll_interval: float = 0.5,
                  drain: bool = True,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 fallback_jobs: int = 1):
         self.queue_dir = queue_dir
         self.lease_ttl = lease_ttl
         self.poll_interval = poll_interval
         self.drain = drain
         self.timeout = timeout
+        self.fallback_jobs = max(1, int(fallback_jobs))
 
     def queue(self) -> JobQueue:
         return JobQueue(root=self.queue_dir, lease_ttl=self.lease_ttl)
@@ -185,32 +199,51 @@ class DistributedBackend:
 
     def execute(self, jobs_list: List[SizedJob],
                 use_cache: bool) -> Dict[str, SimStats]:
-        from repro.distrib.worker import WorkerSummary, process_one
+        from repro.distrib.worker import WorkerSummary, make_payload, process_one
         from repro.experiments import runner
         from repro.experiments.cache import ResultCache
 
         if not jobs_list:
             return {}
-        pending = self.submit(jobs_list, use_cache)
+        try:
+            pending = self.submit(jobs_list, use_cache)
+        except OSError as exc:
+            # Queue root unusable (permissions, dead mount, full disk):
+            # degrade to an in-process pool rather than losing the sweep.
+            print(f"repro: warning: queue root unusable ({exc}); "
+                  f"falling back to the pool backend "
+                  f"({self.fallback_jobs} jobs)", file=sys.stderr)
+            return PoolBackend(self.fallback_jobs).execute(
+                jobs_list, use_cache)
         job_ids = {key: job_id_for(key, est)
                    for est, (key, *_rest) in jobs_list}
+        est_work = {key: est for est, (key, *_rest) in jobs_list}
         queue = self.queue()
         cache = ResultCache()
         summary = WorkerSummary(worker=worker_identity())
         outcomes: Dict[str, SimStats] = {}
         local_keys = set()
         last_progress = time.time()
+        current_poll = self.poll_interval
         while pending:
             progressed = False
             if self.drain:
-                job = queue.claim(summary.worker)
+                try:
+                    job = queue.claim(summary.worker)
+                except OSError:
+                    summary.io_errors += 1
+                    job = None
                 if job is not None:
                     executed_before = summary.executed
                     process_one(queue, cache, job, summary)
                     if summary.executed > executed_before:
                         local_keys.add(job.key)
                     progressed = True
-            reclaimed = queue.reclaim_expired()
+            try:
+                reclaimed = queue.reclaim_expired()
+            except OSError:
+                summary.io_errors += 1
+                reclaimed = 0
             if reclaimed:
                 runner.telemetry.leases_reclaimed += reclaimed
                 summary.reclaimed += reclaimed
@@ -223,6 +256,29 @@ class DistributedBackend:
                     outcomes[key] = stats
                     del pending[key]
                     progressed = True
+            if pending and not progressed:
+                # A done marker whose result does not load means the entry
+                # was lost *after* the publish-before-done step: a torn
+                # write caught (and quarantined) by the integrity check,
+                # or a `cache gc` eviction racing the wait.  Resubmitting
+                # is the recovery: submit() treats the done marker as
+                # stale, unlinks it and re-enqueues the job.
+                for key in list(pending):
+                    marker = (queue.state_dir("done")
+                              / f"{job_ids[key]}.json")
+                    if not marker.exists():
+                        continue
+                    job = pending[key]
+                    _key, benchmark, config, scale, _uc, spec, ckpt = job
+                    try:
+                        if queue.submit(
+                                make_payload(key, benchmark, config, scale,
+                                             slice_spec=spec,
+                                             checkpoint=ckpt),
+                                est_work=est_work[key]):
+                            progressed = True
+                    except OSError:
+                        summary.io_errors += 1
             if pending:
                 # Watch only this run's own job ids (one existence probe
                 # each), not the whole dead/ directory -- a long-lived
@@ -242,6 +298,7 @@ class DistributedBackend:
             now = time.time()
             if progressed:
                 last_progress = now
+                current_poll = self.poll_interval
             elif pending:
                 # The timeout is progress-based, not absolute: a healthy
                 # fleet mid-way through long jobs keeps resetting it.
@@ -251,11 +308,20 @@ class DistributedBackend:
                         f"distributed run made no progress for "
                         f"{self.timeout:g}s with {len(pending)} job(s) "
                         f"unresolved in {queue.root} (no live workers?)")
-                time.sleep(self.poll_interval)
+                # Adaptive idle poll: exponential backoff up to the cap,
+                # reset on any progress, so a submit-and-wait against a
+                # busy fleet does not spin at 2 Hz for hours.
+                time.sleep(current_poll)
+                current_poll = min(
+                    current_poll * 2.0,
+                    max(POLL_INTERVAL_CAP, self.poll_interval))
         if summary.jobs_done or summary.reclaimed or summary.failed:
             # Only drains that actually did something publish worker
             # stats; a pure submit-and-wait leaves no per-run debris.
-            queue.record_worker(summary.worker, summary.to_dict())
+            try:
+                queue.record_worker(summary.worker, summary.to_dict())
+            except OSError:
+                pass
         return outcomes
 
 
@@ -291,7 +357,7 @@ def resolve_backend(backend: Union[str, ExecutionBackend, None],
         if name == "pool":
             return PoolBackend(jobs)
         if name == "distributed":
-            return DistributedBackend()
+            return DistributedBackend(fallback_jobs=jobs)
         raise BackendError(
             f"unknown backend {backend!r} "
             f"(available: {', '.join(BACKEND_NAMES)})")

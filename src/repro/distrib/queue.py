@@ -57,6 +57,9 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.experiments.cache import cache_dir
+from repro.reliability import fs
+from repro.reliability.faults import crashpoint
+from repro.reliability.retry import with_retries
 
 ENV_QUEUE_DIR = "REPRO_QUEUE_DIR"
 ENV_LEASE_TTL = "REPRO_LEASE_TTL"
@@ -71,6 +74,17 @@ DEFAULT_LEASE_TTL = 60.0
 DEFAULT_MAX_ATTEMPTS = 3
 
 _STATES = ("pending", "claimed", "done", "dead")
+
+
+class LeaseLostError(Exception):
+    """This worker's lease on a job now belongs to someone else.
+
+    Raised by :meth:`JobQueue.heartbeat` when the lease file names a
+    different worker: the job was reclaimed (lease expiry) and re-claimed
+    while this worker ran it.  The fencing contract is that the original
+    worker must treat the job as lost -- no publish, no done-rename, no
+    lease writes -- and let the new owner finish it.
+    """
 
 
 def default_queue_dir() -> Path:
@@ -97,6 +111,22 @@ def worker_identity() -> str:
     """A fleet-unique worker id: host, pid and a random suffix."""
     host = socket.gethostname().split(".")[0] or "host"
     return f"{host}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def _as_float(value: object, default: float) -> float:
+    """Defensive float parse: corrupt lease/job fields degrade, not crash."""
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return default
+
+
+def _as_int(value: object, default: int) -> int:
+    """Defensive int parse (see :func:`_as_float`)."""
+    try:
+        return int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return default
 
 
 def job_id_for(key: str, est_work: int) -> str:
@@ -207,13 +237,30 @@ class JobQueue:
             return None
         return data if isinstance(data, dict) else None
 
-    def _write_json(self, path: Path, payload: Dict[str, Any]) -> None:
-        """Atomic write via a privately-named temp file in ``tmp/``."""
+    def _write_json(self, path: Path, payload: Dict[str, Any],
+                    category: str = "queue") -> None:
+        """Atomic write via a privately-named temp file in ``tmp/``.
+
+        Routed through the fault-injection layer under ``category`` and
+        retried (bounded, deterministic jitter) on transient errnos; a
+        fault that survives the retries propagates as ``OSError``.
+        """
         tmp = self.root / "tmp" / f"{uuid.uuid4().hex}.tmp"
         data = json.dumps(payload, sort_keys=True,
                           separators=(",", ":")).encode("utf-8")
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
+        durable = category == "queue"
+        try:
+            with_retries(
+                lambda: fs.write_bytes(tmp, data, category, durable=durable),
+                op=f"queue-write:{path.name}")
+            with_retries(lambda: fs.replace(tmp, path, category),
+                         op=f"queue-publish:{path.name}")
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     # ------------------------------------------------------------------
     # submit
@@ -267,11 +314,15 @@ class JobQueue:
             job_id = path.stem
             dest = self.state_dir("claimed") / path.name
             try:
-                os.rename(path, dest)
+                fs.rename(path, dest, "queue")
             except OSError as exc:
                 if exc.errno in (errno.ENOENT, errno.EPERM, errno.EACCES):
                     continue           # another claimer won this file
                 raise
+            # The worst-case crash window: the claim rename has landed but
+            # no lease exists yet, so only the claimed file's mtime
+            # protects the job until reclamation kicks in after a TTL.
+            crashpoint("after-claim")
             payload = self._read_json(dest)
             if payload is None:
                 # Corrupt job file: dead-letter it rather than crash-loop.
@@ -290,7 +341,7 @@ class JobQueue:
                                  worker=worker, path=dest,
                                  lease_path=self._lease_path(job_id))
             try:
-                self.heartbeat(claimed)
+                self.heartbeat(claimed, force=True)
             except OSError:
                 # Transient FS error writing the lease: the claim itself
                 # already succeeded (we own claimed/<id>.json), and until a
@@ -300,20 +351,57 @@ class JobQueue:
             return claimed
         return None
 
-    def heartbeat(self, job: ClaimedJob) -> None:
-        """Refresh the lease; called periodically while the job runs."""
+    def heartbeat(self, job: ClaimedJob, force: bool = False) -> None:
+        """Refresh the lease; called periodically while the job runs.
+
+        Unless ``force`` (the initial write right after the claim rename,
+        when ownership is unambiguous), the current lease is read first
+        and a lease naming a *different* worker raises
+        :class:`LeaseLostError` instead of being overwritten: a worker
+        that slept through its TTL must never steal the lease back from
+        whoever legitimately reclaimed and re-claimed the job.
+        """
+        if not force:
+            lease = self._read_json(job.lease_path)
+            if lease is not None and str(lease.get("worker", "")) != job.worker:
+                raise LeaseLostError(
+                    f"lease for {job.job_id} now held by "
+                    f"{lease.get('worker')!r} (was {job.worker!r})")
+            if lease is None and not job.path.exists():
+                # Reclaimed and not yet re-claimed: the claimed file moved
+                # away and the lease is gone.  Writing a fresh lease here
+                # would fence *the next* legitimate claimer out.
+                raise LeaseLostError(
+                    f"job {job.job_id} no longer claimed by anyone")
         self._write_json(job.lease_path, {
             "worker": job.worker,
             "job_id": job.job_id,
             "heartbeat_at": time.time(),
             "ttl": self.lease_ttl,
-        })
+        }, category="lease")
+
+    def owns(self, job: ClaimedJob) -> bool:
+        """Re-verify ownership without touching anything (fencing probe)."""
+        lease = self._read_json(job.lease_path)
+        if lease is not None:
+            return str(lease.get("worker", "")) == job.worker
+        # No lease: owner iff the claimed file is still in place (the
+        # claim->lease window, or a lost lease write).
+        return job.path.exists()
 
     def _drop_lease(self, job_id: str) -> None:
         try:
-            os.unlink(self._lease_path(job_id))
+            fs.unlink(self._lease_path(job_id), "lease", missing_ok=True)
         except OSError:
             pass
+
+    def _drop_lease_if_owned(self, job: ClaimedJob) -> None:
+        """Drop the lease only if it is still ours: after losing a rename
+        race the lease file may already belong to the new claimant, and
+        unlinking it would expose *their* claim to instant reclamation."""
+        lease = self._read_json(job.lease_path)
+        if lease is None or str(lease.get("worker", "")) == job.worker:
+            self._drop_lease(job.job_id)
 
     # ------------------------------------------------------------------
     # completion / failure / reclamation
@@ -321,16 +409,24 @@ class JobQueue:
     def complete(self, job: ClaimedJob) -> bool:
         """Transition ``claimed -> done``.
 
-        Returns False when the job was reclaimed while this worker ran it
-        (the rename loses).  That is not an error: the result was already
-        published to the content-addressed cache, and whichever process
-        re-ran the job produced identical bits under the same key.
+        Returns False when the job was reclaimed while this worker ran it.
+        That is not an error: the result was already published to the
+        content-addressed cache, and whichever process re-ran the job
+        produced identical bits under the same key.
+
+        Fenced: the lease is re-read first, and a lease held by another
+        worker means this worker lost the job -- it must not rename the
+        claimed file (which, after a reclaim *and* re-claim, is the new
+        owner's file under the same name) and must not touch the lease.
         """
+        lease = self._read_json(job.lease_path)
+        if lease is not None and str(lease.get("worker", "")) != job.worker:
+            return False
         done = self.state_dir("done") / job.path.name
         try:
-            os.rename(job.path, done)
+            fs.rename(job.path, done, "queue")
         except OSError:
-            self._drop_lease(job.job_id)
+            self._drop_lease_if_owned(job)
             return False
         self._drop_lease(job.job_id)
         return True
@@ -342,8 +438,12 @@ class JobQueue:
         at the bound it is dead-lettered (``"dead"``) with its error
         history, where ``repro status`` and the blocking submitter can see
         it.  If the job was reclaimed while running, the owner lost the
-        file and the failure is moot (``"lost"``).
+        file and the failure is moot (``"lost"``) -- fenced exactly like
+        :meth:`complete`.
         """
+        lease = self._read_json(job.lease_path)
+        if lease is not None and str(lease.get("worker", "")) != job.worker:
+            return "lost"
         return self._retire(job.path, job.payload, error,
                             job_id=job.job_id)
 
@@ -351,20 +451,33 @@ class JobQueue:
                 error: str, job_id: str) -> str:
         """Move an exclusively-owned job file to pending or dead."""
         body = dict(payload)
-        body["attempts"] = int(body.get("attempts", 0)) + 1
+        body["attempts"] = _as_int(body.get("attempts", 0), 0) + 1
         errors = list(body.get("errors", []))
         errors.append(error[:500])
         body["errors"] = errors[-10:]
         state = ("dead" if body["attempts"] >=
-                 int(body.get("max_attempts", self.max_attempts))
+                 _as_int(body.get("max_attempts", self.max_attempts),
+                         self.max_attempts)
                  else "pending")
         tmp = self.root / "tmp" / f"{uuid.uuid4().hex}.retire.tmp"
         try:
-            os.rename(owned_path, tmp)
+            fs.rename(owned_path, tmp, "queue")
         except OSError:
             self._drop_lease(job_id)
             return "lost"
-        self._write_json(self.state_dir(state) / owned_path.name, body)
+        try:
+            self._write_json(self.state_dir(state) / owned_path.name, body)
+        except OSError:
+            # The requeue write failed even after retries.  Undo the
+            # rename (raw os.rename: the recovery path must not route
+            # back through fault injection) so the job survives as
+            # claimed -- a later reclaim pass will retry the retire --
+            # rather than vanishing into tmp/.
+            try:
+                os.rename(tmp, owned_path)
+            except OSError:
+                pass
+            raise
         try:
             os.unlink(tmp)
         except OSError:
@@ -389,8 +502,9 @@ class JobQueue:
             job_id = path.stem
             lease = self._read_json(self._lease_path(job_id))
             if lease is not None:
-                age = now - float(lease.get("heartbeat_at", 0.0))
-                if age <= float(lease.get("ttl", self.lease_ttl)):
+                age = now - _as_float(lease.get("heartbeat_at", 0.0), 0.0)
+                if age <= _as_float(lease.get("ttl", self.lease_ttl),
+                                    self.lease_ttl):
                     continue
                 holder = str(lease.get("worker", "unknown"))
             else:
@@ -428,7 +542,7 @@ class JobQueue:
 
     def dead_jobs(self) -> List[DeadJob]:
         return [DeadJob(job_id=job["job_id"], key=job.get("key", ""),
-                        attempts=int(job.get("attempts", 0)),
+                        attempts=_as_int(job.get("attempts", 0), 0),
                         errors=list(job.get("errors", [])))
                 for job in self.iter_jobs("dead")]
 
@@ -442,7 +556,7 @@ class JobQueue:
             return None
         return DeadJob(job_id=job_id,
                        key=payload.get("key", "") or key_of_job_id(job_id),
-                       attempts=int(payload.get("attempts", 0)),
+                       attempts=_as_int(payload.get("attempts", 0), 0),
                        errors=list(payload.get("errors", [])))
 
     def prune_terminal(self, max_age_seconds: float = 0.0,
@@ -481,7 +595,8 @@ class JobQueue:
         body = dict(stats)
         body["worker"] = worker
         body["updated_at"] = time.time()
-        self._write_json(self.root / "workers" / f"{worker}.json", body)
+        self._write_json(self.root / "workers" / f"{worker}.json", body,
+                         category="workers")
 
     def status(self, now: Optional[float] = None) -> QueueStatus:
         now = time.time() if now is None else now
@@ -497,7 +612,8 @@ class JobQueue:
                 leases.append(("(no lease)", age, path.stem))
             else:
                 leases.append((str(lease.get("worker", "unknown")),
-                               now - float(lease.get("heartbeat_at", now)),
+                               now - _as_float(lease.get("heartbeat_at",
+                                                         now), now),
                                path.stem))
         workers: Dict[str, Dict[str, Any]] = {}
         try:

@@ -20,6 +20,13 @@ The loop heartbeats its lease from a daemon thread while the (long,
 synchronous) simulation call runs, reclaims expired leases of crashed
 peers on every idle poll, and publishes throughput counters for
 ``repro status``.
+
+Fencing: the heartbeat thread tracks its own health (consecutive write
+failures, a lease observed to belong to someone else), and a worker whose
+lease has been silent for half the TTL re-verifies ownership before
+publishing.  A worker that lost its lease treats the job as *fenced* --
+no publish, no done-rename -- so a reclaimed job can never be
+double-finished by its original, slept-through-the-TTL owner.
 """
 
 from __future__ import annotations
@@ -31,10 +38,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.core import MachineConfig, SimStats, simulate
-from repro.distrib.queue import ClaimedJob, JobQueue, worker_identity
+from repro.distrib.queue import (
+    ClaimedJob,
+    JobQueue,
+    LeaseLostError,
+    worker_identity,
+)
 from repro.experiments.cache import ResultCache
 from repro.experiments.sharding import SliceSpec, simulate_slice
 from repro.functional.emulator import Checkpoint
+from repro.reliability.faults import SimulatedCrash, crashpoint
 from repro.workloads import build_workload
 
 #: Fraction of the lease TTL between heartbeats while a job runs.
@@ -92,6 +105,8 @@ class WorkerSummary:
     failed: int = 0          # failed attempts recorded (retried or dead)
     reclaimed: int = 0       # expired leases this worker reclaimed
     lost: int = 0            # completions that lost the done-rename race
+    fenced: int = 0          # jobs abandoned after losing the lease
+    io_errors: int = 0       # queue IO errors survived by the drain loop
     started_at: float = field(default_factory=time.time)
 
     @property
@@ -105,29 +120,65 @@ class WorkerSummary:
             "failed": self.failed,
             "reclaimed": self.reclaimed,
             "lost": self.lost,
+            "fenced": self.fenced,
+            "io_errors": self.io_errors,
             "started_at": self.started_at,
         }
 
 
-class _Heartbeat:
-    """Daemon thread refreshing one job's lease while it executes."""
+class _HeartbeatThread:
+    """Daemon thread refreshing one job's lease while it executes.
 
-    def __init__(self, queue: JobQueue, job: ClaimedJob):
+    Tracks its own health instead of swallowing errors forever:
+
+    * a transient ``OSError`` bumps ``failures`` and retries next beat;
+    * :class:`LeaseLostError` (the lease now names another worker) sets
+      ``lost`` and stops beating -- the job is no longer ours;
+    * :attr:`suspect` turns true once the lease has gone unrefreshed for
+      half the TTL, telling the worker to re-verify ownership with
+      :meth:`JobQueue.owns` before it publishes anything.
+    """
+
+    def __init__(self, queue: JobQueue, job: ClaimedJob,
+                 clock: Callable[[], float] = time.monotonic):
         self._queue = queue
         self._job = job
         self._stop = threading.Event()
+        self._clock = clock
+        self._last_ok = clock()
+        self.failures = 0          # consecutive failed beats
+        self.lost = False          # lease observed to belong to someone else
         interval = max(0.05, queue.lease_ttl * HEARTBEAT_FRACTION)
         self._thread = threading.Thread(
             target=self._run, args=(interval,), daemon=True)
 
+    @property
+    def suspect(self) -> bool:
+        """The lease may have expired under us; re-verify before publish."""
+        if self.lost:
+            return True
+        return (self._clock() - self._last_ok) >= self._queue.lease_ttl / 2.0
+
     def _run(self, interval: float) -> None:
         while not self._stop.wait(interval):
             try:
+                crashpoint("mid-heartbeat")
                 self._queue.heartbeat(self._job)
+            except LeaseLostError:
+                self.lost = True
+                return
             except OSError:
-                pass                      # transient FS error; retry next beat
+                self.failures += 1
+                continue
+            except SimulatedCrash:
+                # An injected crash in the beater cannot unwind the main
+                # thread; going permanently silent has the same observable
+                # effect -- the lease stops refreshing and expires.
+                return
+            self.failures = 0
+            self._last_ok = self._clock()
 
-    def __enter__(self) -> "_Heartbeat":
+    def __enter__(self) -> "_HeartbeatThread":
         self._thread.start()
         return self
 
@@ -143,8 +194,17 @@ def process_one(queue: JobQueue, cache: ResultCache, job: ClaimedJob,
     Publishes the result to the shared cache *before* the ``done``
     transition; a failure (simulation error, unreadable payload) is
     recorded via :meth:`JobQueue.fail`, which retries or dead-letters.
+
+    Fencing: if the heartbeat lost the lease -- or went silent long
+    enough that it *might* have -- ownership is re-verified before the
+    publish, and a fenced worker walks away without touching the cache
+    entry, the claimed file or the lease.  A publish that still fails
+    after retries is recorded as a failed attempt rather than marked
+    done: a done marker whose result never reached the cache would hang
+    the blocking submitter forever.
     """
-    with _Heartbeat(queue, job):
+    fenced = False
+    with _HeartbeatThread(queue, job) as beater:
         try:
             stats = cache.load(job.key) if job.key else None
             if stats is not None:
@@ -152,11 +212,27 @@ def process_one(queue: JobQueue, cache: ResultCache, job: ClaimedJob,
             else:
                 stats = execute_payload(job.payload)
                 summary.executed += 1
-                cache.store(job.key, stats)
+                if beater.lost or (beater.suspect and not queue.owns(job)):
+                    fenced = True
+                else:
+                    crashpoint("before-publish")
+                    if job.key and not cache.store(job.key, stats):
+                        summary.failed += 1
+                        queue.fail(job, "cache publish failed after retries")
+                        return
+                    crashpoint("after-publish-before-done")
+        except SimulatedCrash:
+            raise
         except Exception:
             summary.failed += 1
             queue.fail(job, traceback.format_exc(limit=8))
             return
+    if fenced:
+        summary.fenced += 1
+        from repro.experiments import runner
+
+        runner.telemetry.fenced += 1
+        return
     if not queue.complete(job):
         summary.lost += 1
 
@@ -167,14 +243,18 @@ def run_worker(queue: Optional[JobQueue] = None,
                max_jobs: Optional[int] = None,
                idle_timeout: Optional[float] = None,
                poll_interval: float = 0.2,
-               log: Optional[Callable[[str], None]] = None) -> WorkerSummary:
+               log: Optional[Callable[[str], None]] = None,
+               stop: Optional[threading.Event] = None) -> WorkerSummary:
     """Drain jobs from ``queue`` until told (or timed) out.
 
     ``max_jobs`` bounds how many jobs this worker takes (None = no bound);
     ``idle_timeout`` exits after that many seconds without claimable work
-    (None = wait forever, the long-lived fleet mode).  Expired peers'
-    leases are reclaimed on every idle poll.  Returns the summary that is
-    also published to ``workers/<id>.json`` for ``repro status``.
+    (None = wait forever, the long-lived fleet mode); ``stop`` requests a
+    graceful drain between jobs (the ``repro fleet`` SIGTERM path).
+    Expired peers' leases are reclaimed on every idle poll, and transient
+    queue IO errors back the loop off instead of killing the worker.
+    Returns the summary that is also published to ``workers/<id>.json``
+    for ``repro status``.
     """
     queue = queue if queue is not None else JobQueue()
     cache = cache if cache is not None else ResultCache()
@@ -184,8 +264,17 @@ def run_worker(queue: Optional[JobQueue] = None,
     emit(f"worker {summary.worker} draining {queue.root}")
     try:
         while max_jobs is None or summary.jobs_done < max_jobs:
-            summary.reclaimed += queue.reclaim_expired()
-            job = queue.claim(summary.worker)
+            if stop is not None and stop.is_set():
+                emit(f"worker {summary.worker} stop requested; draining out")
+                break
+            try:
+                summary.reclaimed += queue.reclaim_expired()
+                job = queue.claim(summary.worker)
+            except OSError as exc:
+                summary.io_errors += 1
+                emit(f"  queue IO error ({exc}); backing off")
+                time.sleep(poll_interval)
+                continue
             if job is None:
                 now = time.time()
                 if idle_since is None:
@@ -199,10 +288,16 @@ def run_worker(queue: Optional[JobQueue] = None,
             emit(f"  job {job.key[:16]} "
                  f"({job.payload.get('benchmark', '?')})")
             process_one(queue, cache, job, summary)
-            queue.record_worker(summary.worker, summary.to_dict())
+            try:
+                queue.record_worker(summary.worker, summary.to_dict())
+            except OSError:
+                pass                    # stats are advisory, never fatal
     except KeyboardInterrupt:
         emit(f"worker {summary.worker} interrupted")
-    queue.record_worker(summary.worker, summary.to_dict())
+    try:
+        queue.record_worker(summary.worker, summary.to_dict())
+    except OSError:
+        pass
     emit(f"worker {summary.worker} exiting: {summary.executed} executed, "
          f"{summary.cache_hits} cache hits, {summary.failed} failed, "
          f"{summary.reclaimed} leases reclaimed")

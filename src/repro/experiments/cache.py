@@ -14,6 +14,16 @@ The cache is best-effort: store failures (unwritable directory, full disk)
 are swallowed so a long sweep never loses its computed results to cache
 I/O, and unreadable or corrupt entries are treated as misses.
 
+Integrity: every entry carries a sha256 trailer (``...json\\n#sha256=HEX``)
+written over the JSON body, so a torn write -- a crash between ``write``
+and the atomic rename, or a short write on a full disk -- is detected at
+load time.  Entries that fail verification (or decoding) are *quarantined*
+to ``<root>/corrupt/`` rather than silently unlinked: the evidence
+survives for inspection, the load is a plain miss, and the event is
+counted in ``RunTelemetry.corrupt_quarantined``.  Trailer-less entries
+from older cache layouts still load (the key's ``code_version`` component
+retires them naturally).
+
 The cache directory defaults to ``~/.cache/repro`` (respecting
 ``XDG_CACHE_HOME``) and can be redirected with ``REPRO_CACHE_DIR``; setting
 ``REPRO_DISK_CACHE=0`` disables the disk layer entirely (the in-process
@@ -26,12 +36,15 @@ import hashlib
 import json
 import os
 import shutil
-import tempfile
+import sys
 import time
+import uuid
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.core.stats import SimStats
+from repro.reliability import fs
+from repro.reliability.retry import with_retries
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_DISK_CACHE = "REPRO_DISK_CACHE"
@@ -40,6 +53,14 @@ ENV_DISK_CACHE = "REPRO_DISK_CACHE"
 #: the distributed work queue (see :mod:`repro.distrib.queue`) keeps its
 #: *job* files -- which are not cache entries -- under ``queue/``.
 GC_EXCLUDE_TOP = ("queue",)
+
+#: Where entries that fail integrity verification are moved.  Inside the
+#: root so ``cache gc`` age/size bounds clean it up eventually, but never
+#: consulted by lookups.
+CORRUPT_TOP = "corrupt"
+
+#: Separates the JSON body from its sha256 integrity digest in an entry.
+INTEGRITY_TRAILER = b"\n#sha256="
 
 #: Grace period before an orphaned ``*.tmp`` (a writer killed between
 #: ``mkstemp`` and ``os.replace``) is considered garbage.  Long enough that
@@ -95,6 +116,30 @@ def result_key(benchmark: str, scale: float, config: Any) -> str:
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+def seal_entry(body: bytes) -> bytes:
+    """Append the sha256 integrity trailer to an encoded entry body."""
+    digest = hashlib.sha256(body).hexdigest().encode("ascii")
+    return body + INTEGRITY_TRAILER + digest
+
+
+def unseal_entry(raw: bytes) -> tuple[Optional[bytes], bool]:
+    """Split an entry into (body, verified).
+
+    Returns ``(None, False)`` when the trailer is present but the digest
+    does not match (torn or tampered entry), and ``(raw, False)`` for
+    trailer-less legacy entries (accepted, but unverified).
+    """
+    idx = raw.rfind(INTEGRITY_TRAILER)
+    if idx < 0:
+        return raw, False
+    body = raw[:idx]
+    digest = raw[idx + len(INTEGRITY_TRAILER):].strip().decode(
+        "ascii", "replace")
+    if hashlib.sha256(body).hexdigest() != digest:
+        return None, False
+    return body, True
+
+
 class PayloadCache:
     """JSON-per-entry cache laid out as ``<root>/<kk>/<key>.json``.
 
@@ -113,68 +158,101 @@ class PayloadCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def load_payload(self, key: str) -> Optional[Dict[str, Any]]:
-        """Return the cached JSON payload, or None on miss/corruption.
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry to ``<root>/corrupt/`` and count the event.
 
-        A transient read error (EIO, stale handle) is a plain miss -- the
-        entry stays on disk.  A decode failure means the entry is corrupt
-        (or from an incompatible schema), so it is dropped.
+        Falls back to unlinking when the move itself fails (read-only
+        corrupt dir, cross-device root): a bad entry must never stay
+        where lookups will keep tripping over it.
         """
-        path = self.path_for(key)
+        dest_dir = self.root / CORRUPT_TOP
         try:
-            raw = path.read_bytes()
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest_dir / path.name)
         except OSError:
-            self.misses += 1
-            return None
-        try:
-            payload = json.loads(raw.decode("utf-8"))
-            if not isinstance(payload, dict):
-                raise ValueError("cache entry is not a JSON object")
-        except Exception:
             try:
                 path.unlink()
             except OSError:
                 pass
+        from repro.experiments.runner import telemetry
+
+        telemetry.corrupt_quarantined += 1
+        print(f"repro: cache: quarantined corrupt entry {path.name} "
+              f"({reason})", file=sys.stderr)
+
+    def load_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached JSON payload, or None on miss/corruption.
+
+        A transient read error (EIO, stale handle) is a plain miss -- the
+        entry stays on disk.  A failed integrity trailer or a decode
+        failure means the entry is corrupt (torn write, tampering, or an
+        incompatible schema), so it is quarantined to ``corrupt/``.
+        """
+        path = self.path_for(key)
+        try:
+            raw = fs.read_bytes(path, "cache")
+        except OSError:
+            self.misses += 1
+            return None
+        body, _verified = unseal_entry(raw)
+        if body is None:
+            self._quarantine(path, "sha256 mismatch")
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except Exception:
+            self._quarantine(path, "undecodable entry")
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
-    def store_payload(self, key: str, payload: Dict[str, Any]) -> None:
+    def store_payload(self, key: str, payload: Dict[str, Any]) -> bool:
         """Atomically persist one JSON payload, best-effort.
 
         Encoding errors propagate (they are programming errors), but cache
-        I/O failures -- unwritable directory, full disk -- are swallowed:
-        losing a cache write must never lose the computed result.
+        I/O failures -- unwritable directory, full disk -- are swallowed
+        after bounded retries: losing a cache write must never lose the
+        computed result.  Returns whether the entry was published, so
+        callers whose *protocol* needs the publish (the distributed
+        worker's publish-before-done step) can react.
         """
         data = json.dumps(payload, sort_keys=True,
                           separators=(",", ":")).encode("utf-8")
+        blob = seal_entry(data)
         path = self.path_for(key)
+        tmp = path.parent / f".{key[:16]}.{uuid.uuid4().hex}.tmp"
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         except OSError:
-            return
+            return False
         try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(data)
-            os.replace(tmp, path)
+            with_retries(
+                lambda: fs.write_bytes(tmp, blob, "cache", durable=True),
+                op=f"cache-write:{key[:8]}")
+            with_retries(lambda: fs.replace(tmp, path, "cache"),
+                         op=f"cache-publish:{key[:8]}")
         except OSError:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            return
+            return False
         except BaseException:
-            # KeyboardInterrupt / SystemExit between mkstemp and replace:
-            # don't leave an orphaned .tmp behind (``cache gc`` sweeps any
-            # that SIGKILL still manages to strand).
+            # KeyboardInterrupt / SystemExit / SimulatedCrash between the
+            # write and the rename: don't leave an orphaned .tmp behind
+            # (``cache gc`` sweeps any that SIGKILL still manages to
+            # strand).
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
         self.stores += 1
+        return True
 
     # ------------------------------------------------------------------
     def _gc_candidates(self):
@@ -298,18 +376,15 @@ class ResultCache(PayloadCache):
         try:
             return SimStats.from_dict(payload)
         except Exception:
-            # Stale schema: drop the entry and treat it as a miss.
-            try:
-                self.path_for(key).unlink()
-            except OSError:
-                pass
+            # Stale schema: quarantine the entry and treat it as a miss.
+            self._quarantine(self.path_for(key), "stale schema")
             self.hits -= 1
             self.misses += 1
             return None
 
-    def store(self, key: str, result: SimStats) -> None:
-        """Atomically persist one result, best-effort."""
-        self.store_payload(key, result.to_dict())
+    def store(self, key: str, result: SimStats) -> bool:
+        """Atomically persist one result, best-effort; True if published."""
+        return self.store_payload(key, result.to_dict())
 
     # ------------------------------------------------------------------
     def info(self) -> Dict[str, Any]:
@@ -320,9 +395,13 @@ class ResultCache(PayloadCache):
         they are from :meth:`gc` and :meth:`clear`.
         """
         entries = 0
+        corrupt = 0
         total_bytes = 0
         for path in self._gc_candidates():
             if not path.name.endswith(".json"):
+                continue
+            if path.parent.name == CORRUPT_TOP:
+                corrupt += 1
                 continue
             entries += 1
             try:
@@ -333,6 +412,7 @@ class ResultCache(PayloadCache):
             "root": str(self.root),
             "enabled": disk_cache_enabled(),
             "entries": entries,
+            "corrupt": corrupt,
             "bytes": total_bytes,
             "code_version": code_version(),
         }

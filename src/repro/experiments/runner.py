@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import sys
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
@@ -64,6 +65,13 @@ class RunTelemetry:
     instead, so a ``--verbose`` summary stays truthful about who computed
     what.  ``leases_reclaimed`` counts crashed-worker leases this process
     reclaimed for the fleet.
+
+    The reliability counters: ``corrupt_quarantined`` cache entries moved
+    to ``corrupt/`` after failing integrity verification, ``io_retries``
+    transient-IO retries spent by :func:`repro.reliability.retry.with_retries`,
+    ``cache_degraded`` disk-cache writes that failed outright and fell
+    back to memory-only, and ``fenced`` jobs abandoned un-published after
+    this process lost its lease.
     """
 
     simulations: int = 0
@@ -73,6 +81,10 @@ class RunTelemetry:
     slices_simulated: int = 0
     remote_jobs: int = 0
     leases_reclaimed: int = 0
+    corrupt_quarantined: int = 0
+    io_retries: int = 0
+    cache_degraded: int = 0
+    fenced: int = 0
 
     def reset(self) -> None:
         self.simulations = 0
@@ -82,6 +94,10 @@ class RunTelemetry:
         self.slices_simulated = 0
         self.remote_jobs = 0
         self.leases_reclaimed = 0
+        self.corrupt_quarantined = 0
+        self.io_retries = 0
+        self.cache_degraded = 0
+        self.fenced = 0
 
 
 telemetry = RunTelemetry()
@@ -317,8 +333,13 @@ def _cache_store(key: str, stats: SimStats, to_disk: bool = True) -> None:
     _MEMORY_CACHE[key] = stats
     if to_disk:
         disk = _disk_cache()
-        if disk is not None:
-            disk.store(key, stats)
+        if disk is not None and not disk.store(key, stats):
+            # Graceful degradation: the result lives on in the in-memory
+            # LRU for this process; only re-runs lose the disk hit.
+            telemetry.cache_degraded += 1
+            print(f"repro: warning: disk cache write failed for "
+                  f"{key[:16]}; result kept in memory only",
+                  file=sys.stderr)
 
 
 def run_benchmark(benchmark: str, config: MachineConfig,

@@ -57,6 +57,12 @@ ACCESSOR_REGISTRY: Dict[str, FrozenSet[str]] = {
         {"src/repro/core/kernel.py::select_backend"}),
     "REPRO_FAST_PATH": frozenset(
         {"src/repro/core/pipeline.py::fast_path_enabled"}),
+    "REPRO_FAULTS": frozenset(
+        {"src/repro/reliability/faults.py::faults_spec"}),
+    "REPRO_RETRY_MAX": frozenset(
+        {"src/repro/reliability/retry.py::default_retry_max"}),
+    "REPRO_RETRY_BASE": frozenset(
+        {"src/repro/reliability/retry.py::default_retry_base"}),
 }
 
 #: Functions allowed to read a *dynamic* (non-literal) environment name:

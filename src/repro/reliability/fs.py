@@ -1,0 +1,111 @@
+"""Filesystem wrappers that route through the active fault plan.
+
+The cache/queue/worker stack performs all of its filesystem mutations
+through these functions instead of calling ``os``/``pathlib`` directly.
+Each wrapper consults :func:`repro.reliability.faults.active_plan` first;
+with no plan installed (the production default) that is one global load
+and a ``None`` check, after which the real operation runs untouched --
+the zero-overhead-when-disabled contract.
+
+Every call site passes a ``category`` naming the file class the path
+belongs to (``cache``, ``queue``, ``lease``, ``workers``) so fault specs
+can target a class (``write:@cache:nth=1:torn``) without depending on
+where a test happens to root its tmp directories.
+
+The ``torn`` action is implemented here rather than in ``fire()``: a torn
+write *succeeds* from the caller's point of view but persists only the
+first half of the payload, modelling a crash between ``write(2)`` and
+``fsync(2)``.  The corruption is only observable later, at read time --
+which is exactly what the sha256 integrity trailer on cache entries is
+for.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.reliability.faults import FaultRule, active_plan, fire
+
+PathLike = Union[str, Path]
+
+
+def _check(op: str, path: str, category: str) -> Optional[FaultRule]:
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.check(op, path, category)
+
+
+def rename(src: PathLike, dst: PathLike, category: str) -> None:
+    """``os.rename`` with fault routing (spec matches ``SRC::DST``)."""
+    rule = _check("rename", f"{src}::{dst}", category)
+    if rule is not None:
+        fire(rule, "rename", f"{src} -> {dst}")
+    os.rename(src, dst)
+
+
+def replace(src: PathLike, dst: PathLike, category: str) -> None:
+    """``os.replace`` with fault routing (spec matches ``SRC::DST``)."""
+    rule = _check("rename", f"{src}::{dst}", category)
+    if rule is not None:
+        fire(rule, "replace", f"{src} -> {dst}")
+    os.replace(src, dst)
+
+
+def write_bytes(path: PathLike, data: bytes, category: str,
+                durable: bool = False) -> None:
+    """Write ``data`` to ``path`` (creating it), with fault routing.
+
+    A fired ``torn`` rule truncates the payload to its first half and
+    then *succeeds silently*.  ``durable=True`` fsyncs the file after
+    writing, which routes through the ``fsync`` op as its own faultable
+    step.
+    """
+    spath = str(path)
+    rule = _check("write", spath, category)
+    if rule is not None:
+        if rule.action == "torn":
+            data = data[: len(data) // 2]
+        else:
+            fire(rule, "write", spath)
+    fd = os.open(spath, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, data)
+        if durable:
+            fsync_fd(fd, spath, category)
+    finally:
+        os.close(fd)
+
+
+def read_bytes(path: PathLike, category: str) -> bytes:
+    """``Path.read_bytes`` with fault routing."""
+    spath = str(path)
+    rule = _check("read", spath, category)
+    if rule is not None:
+        fire(rule, "read", spath)
+    with open(spath, "rb") as fh:
+        return fh.read()
+
+
+def unlink(path: PathLike, category: str,
+           missing_ok: bool = False) -> None:
+    """``os.unlink`` with fault routing."""
+    spath = str(path)
+    rule = _check("unlink", spath, category)
+    if rule is not None:
+        fire(rule, "unlink", spath)
+    try:
+        os.unlink(spath)
+    except FileNotFoundError:
+        if not missing_ok:
+            raise
+
+
+def fsync_fd(fd: int, path: str, category: str) -> None:
+    """``os.fsync`` on an open descriptor, with fault routing."""
+    rule = _check("fsync", path, category)
+    if rule is not None:
+        fire(rule, "fsync", path)
+    os.fsync(fd)

@@ -1,0 +1,99 @@
+"""Bounded exponential retry with deterministic jitter for transient IO.
+
+The queue and cache treat a small set of errnos as *transient* -- worth a
+bounded number of retries with exponential backoff -- and everything else
+(notably ENOENT, which is a protocol signal meaning "someone else won the
+rename race") as immediately fatal to the operation.
+
+The jitter is deterministic: instead of ``random()``, the backoff for
+attempt *k* of operation *op* is scaled by a factor in [0.5, 1.0] derived
+from ``sha256(f"{op}:{k}")``.  Two workers retrying *different* operations
+desynchronise (the point of jitter) while the same program run twice
+retries on the identical schedule (the point of this repo).
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import time
+from typing import Callable, TypeVar
+
+ENV_RETRY_MAX = "REPRO_RETRY_MAX"
+ENV_RETRY_BASE = "REPRO_RETRY_BASE"
+
+_DEFAULT_RETRY_MAX = 3
+_DEFAULT_RETRY_BASE = 0.05
+
+#: Errnos retried as transient.  ENOENT is deliberately absent: in the
+#: queue protocol a vanished file means another worker won the rename
+#: race, and retrying would just re-lose it.
+TRANSIENT_ERRNOS = frozenset({
+    errno.EIO,
+    errno.ENOSPC,
+    errno.EAGAIN,
+    errno.EINTR,
+    errno.EBUSY,
+    errno.ESTALE,
+})
+
+T = TypeVar("T")
+
+
+def default_retry_max() -> int:
+    """Retries after the first attempt (``REPRO_RETRY_MAX``, default 3)."""
+    from repro.experiments.runner import EnvVarError, _env_int
+
+    value = _env_int(ENV_RETRY_MAX, str(_DEFAULT_RETRY_MAX),
+                     "a non-negative integer (0 = no retries)")
+    if value < 0:
+        raise EnvVarError(ENV_RETRY_MAX, str(value),
+                          "a non-negative integer (0 = no retries)")
+    return value
+
+
+def default_retry_base() -> float:
+    """Base backoff in seconds (``REPRO_RETRY_BASE``, default 0.05)."""
+    from repro.experiments.runner import env_float
+
+    return env_float(ENV_RETRY_BASE, str(_DEFAULT_RETRY_BASE))
+
+
+def backoff_delay(op: str, attempt: int, base: float) -> float:
+    """Deterministic-jitter exponential backoff for ``attempt`` (0-based)."""
+    digest = hashlib.sha256(f"{op}:{attempt}".encode()).digest()
+    jitter = 0.5 + 0.5 * digest[0] / 255.0
+    return base * (2 ** attempt) * jitter
+
+
+def is_transient(exc: OSError) -> bool:
+    return exc.errno in TRANSIENT_ERRNOS
+
+
+def with_retries(fn: Callable[[], T], *, op: str,
+                 retry_max: int | None = None,
+                 retry_base: float | None = None,
+                 sleep: Callable[[float], None] = time.sleep) -> T:
+    """Run ``fn``, retrying transient OSErrors with bounded backoff.
+
+    Non-transient OSErrors (and everything else, including
+    ``SimulatedCrash``) propagate immediately.  After ``retry_max``
+    retries the last transient error propagates.  Each retry increments
+    ``RunTelemetry.io_retries``.
+    """
+    if retry_max is None:
+        retry_max = default_retry_max()
+    if retry_base is None:
+        retry_base = default_retry_base()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except OSError as exc:
+            if not is_transient(exc) or attempt >= retry_max:
+                raise
+            from repro.experiments.runner import telemetry
+
+            telemetry.io_retries += 1
+            sleep(backoff_delay(op, attempt, retry_base))
+            attempt += 1

@@ -1,0 +1,199 @@
+"""The ``repro fleet`` supervisor: N workers, restart-on-crash, drain.
+
+The supervisor owns a fleet of worker child processes and implements the
+restart policy the queue protocol assumes but a bare ``repro worker &``
+loop does not provide:
+
+* a child that exits **0** has drained the queue (idle timeout) -- it is
+  done and is not restarted;
+* a child that dies any other way (crash, signal, ``SimulatedCrash``)
+  is restarted after an exponential backoff, up to ``max_restarts``
+  times per slot; a slot that exhausts its restarts is marked failed;
+* SIGTERM to the supervisor forwards a graceful stop to every child and
+  waits ``grace`` seconds before escalating to SIGKILL.
+
+Restarted children are spawned with ``REPRO_FAULTS`` stripped from their
+environment: an injected one-shot crash schedule should take a worker
+down *once* and then let recovery proceed, not re-fire on every restart
+forever.  (Callers that really want persistent faults can pass a custom
+``spawn``.)
+
+The child-process interface is injectable (``spawn(index, clean)`` must
+return an object with ``poll() -> Optional[int]``, ``terminate()`` and
+``kill()``) so the restart policy is unit-testable with fake handles;
+production use passes a ``subprocess.Popen`` factory (see
+``repro.__main__``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol
+
+
+class WorkerHandle(Protocol):
+    """What the supervisor needs from a child process."""
+
+    def poll(self) -> Optional[int]: ...
+
+    def terminate(self) -> None: ...
+
+    def kill(self) -> None: ...
+
+
+SpawnFn = Callable[[int, bool], WorkerHandle]
+LogFn = Callable[[str], None]
+
+
+@dataclass
+class _Slot:
+    index: int
+    handle: Optional[WorkerHandle] = None
+    restarts: int = 0
+    #: monotonic time before which the slot must not respawn
+    not_before: float = 0.0
+    drained: bool = False
+    failed: bool = False
+
+
+@dataclass
+class FleetSummary:
+    """Terminal state of a supervised fleet."""
+
+    drained: int = 0
+    failed: int = 0
+    restarts: int = 0
+    stopped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def describe(self) -> str:
+        bits = [f"{self.drained} drained", f"{self.restarts} restarts"]
+        if self.failed:
+            bits.append(f"{self.failed} failed")
+        if self.stopped:
+            bits.append("stopped")
+        return ", ".join(bits)
+
+
+@dataclass
+class FleetSupervisor:
+    """Run ``count`` workers until all drain, fail, or a stop arrives."""
+
+    count: int
+    spawn: SpawnFn
+    max_restarts: int = 5
+    backoff_base: float = 0.5
+    backoff_cap: float = 10.0
+    poll_interval: float = 0.2
+    grace: float = 5.0
+    log: Optional[LogFn] = None
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+    stop_event: threading.Event = field(default_factory=threading.Event)
+
+    def _say(self, msg: str) -> None:
+        if self.log is not None:
+            self.log(msg)
+
+    def stop(self) -> None:
+        """Request a graceful drain (safe to call from a signal handler)."""
+        self.stop_event.set()
+
+    def run(self) -> FleetSummary:
+        slots = [_Slot(index=i) for i in range(self.count)]
+        summary = FleetSummary()
+        for slot in slots:
+            slot.handle = self.spawn(slot.index, False)
+        try:
+            while True:
+                live = 0
+                now = self.clock()
+                for slot in slots:
+                    if slot.drained or slot.failed:
+                        continue
+                    if slot.handle is None:
+                        # waiting out a restart backoff
+                        if self.stop_event.is_set():
+                            slot.failed = True
+                            continue
+                        if now >= slot.not_before:
+                            slot.handle = self.spawn(slot.index, True)
+                            self._say(f"fleet: worker {slot.index} "
+                                      f"restarted (attempt "
+                                      f"{slot.restarts}/{self.max_restarts})")
+                        live += 1
+                        continue
+                    code = slot.handle.poll()
+                    if code is None:
+                        live += 1
+                        continue
+                    slot.handle = None
+                    if code == 0:
+                        slot.drained = True
+                        self._say(f"fleet: worker {slot.index} drained")
+                    elif self.stop_event.is_set():
+                        slot.failed = True
+                    elif slot.restarts >= self.max_restarts:
+                        slot.failed = True
+                        self._say(f"fleet: worker {slot.index} exceeded "
+                                  f"{self.max_restarts} restarts "
+                                  f"(last exit {code}); giving up")
+                    else:
+                        delay = min(self.backoff_cap,
+                                    self.backoff_base * (2 ** slot.restarts))
+                        slot.restarts += 1
+                        summary.restarts += 1
+                        slot.not_before = now + delay
+                        self._say(f"fleet: worker {slot.index} exited "
+                                  f"{code}; restarting in {delay:.1f}s")
+                        live += 1
+                if live == 0:
+                    break
+                if self.stop_event.is_set():
+                    self._drain(slots)
+                    summary.stopped = True
+                    break
+                self.sleep(self.poll_interval)
+        except KeyboardInterrupt:
+            self.stop_event.set()
+            self._drain(slots)
+            summary.stopped = True
+        summary.drained = sum(1 for s in slots if s.drained)
+        summary.failed = sum(1 for s in slots if s.failed)
+        return summary
+
+    def _drain(self, slots: List[_Slot]) -> None:
+        """SIGTERM every live child, wait ``grace``, then SIGKILL."""
+        live = [s for s in slots if s.handle is not None]
+        for slot in live:
+            assert slot.handle is not None
+            slot.handle.terminate()
+        deadline = self.clock() + self.grace
+        while live and self.clock() < deadline:
+            still = []
+            for slot in live:
+                assert slot.handle is not None
+                code = slot.handle.poll()
+                if code is None:
+                    still.append(slot)
+                elif code == 0:
+                    slot.drained = True
+                    slot.handle = None
+                else:
+                    slot.failed = True
+                    slot.handle = None
+            live = still
+            if live:
+                self.sleep(self.poll_interval)
+        for slot in live:
+            assert slot.handle is not None
+            self._say(f"fleet: worker {slot.index} did not stop in "
+                      f"{self.grace:.0f}s; killing")
+            slot.handle.kill()
+            slot.failed = True
+            slot.handle = None

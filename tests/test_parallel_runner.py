@@ -112,13 +112,19 @@ class TestDiskCache:
 
     def test_cache_entries_are_json_and_roundtrip(self, isolated_cache):
         """The cache stores canonical JSON, never pickle: loading a shared
-        or tampered entry must not be able to execute code."""
+        or tampered entry must not be able to execute code.  Entries carry
+        a sha256 integrity trailer after the JSON body (one line, verified
+        on load) -- unsealing must both validate it and expose plain JSON."""
         import json
+
+        from repro.experiments.cache import unseal_entry
 
         stats = runner.run_benchmark("gzip", SUITE_CONFIGS["none"], scale=0.1)
         paths = list(isolated_cache.rglob("*.json"))
         assert len(paths) == 1
-        payload = json.loads(paths[0].read_text())   # plain JSON on disk
+        body, verified = unseal_entry(paths[0].read_bytes())
+        assert verified                              # trailer present, valid
+        payload = json.loads(body)                   # plain JSON underneath
         from repro.core import SimStats
 
         assert SimStats.from_dict(payload) == stats
