@@ -15,7 +15,9 @@ Exits non-zero if
   (per-benchmark tripwire), or
 * ``--max-regression R`` is given and the geomean ``current/baseline``
   ratio exceeds ``R`` (aggregate tripwire: individual noise cancels in the
-  geomean, so this threshold can be much tighter than ``--threshold``).
+  geomean, so this threshold can be much tighter than ``--threshold``), or
+* the common benchmark set is empty / nothing was comparable (exit 2: a
+  comparison that compared nothing must not pass a CI gate).
 
 Machine-to-machine noise means the per-benchmark check is a tripwire, not a
 precision instrument, hence its generous default.
@@ -37,14 +39,23 @@ def load_means(path: str) -> dict:
 
 
 def geomean_ratio(baseline: dict, current: dict, common) -> float:
-    """Geometric mean of ``current/baseline`` over the common benchmarks."""
+    """Geometric mean of ``current/baseline`` over the common benchmarks.
+
+    Raises :class:`ValueError` when no pair is comparable (no common names,
+    or every mean is zero/negative) -- a silent ``1.0`` here once let a
+    renamed suite sail through the CI ``--max-regression`` gate with
+    nothing actually compared.
+    """
     log_sum = 0.0
     counted = 0
     for name in common:
         if baseline[name] > 0 and current[name] > 0:
             log_sum += math.log(current[name] / baseline[name])
             counted += 1
-    return math.exp(log_sum / counted) if counted else 1.0
+    if not counted:
+        raise ValueError("no comparable benchmark pairs (zero or negative "
+                         "means everywhere)")
+    return math.exp(log_sum / counted)
 
 
 def main() -> int:
@@ -80,10 +91,21 @@ def main() -> int:
         print(f"{name:<72} {'-':>10} {current[name]:>10.5f}   (new)")
 
     if not common:
-        print("no common benchmarks between the two files", file=sys.stderr)
-        return 0
+        # A comparison that compared nothing must not pass the CI gate:
+        # a renamed suite or an empty results file would otherwise look
+        # like "no regressions".
+        print("error: no common benchmarks between "
+              f"{args.baseline} ({len(baseline)} entries) and "
+              f"{args.current} ({len(current)} entries); nothing was "
+              "compared -- did the suite or the baseline get renamed?",
+              file=sys.stderr)
+        return 2
 
-    ratio = geomean_ratio(baseline, current, common)
+    try:
+        ratio = geomean_ratio(baseline, current, common)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     speedup = 1.0 / ratio if ratio else 0.0
     print(f"\ngeomean speedup (baseline/current) over {len(common)} common "
           f"benchmark(s): {speedup:.2f}x "

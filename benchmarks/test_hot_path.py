@@ -12,12 +12,15 @@ not through ``run_benchmark``), so every round performs real simulation
 work.
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.core import MachineConfig, simulate
+from repro.memsys.hierarchy import MemSysConfig
 from repro.experiments.runner import SMOKE_BENCHMARKS
 from repro.integration.config import IntegrationConfig
-from repro.workloads import build_workload
+from repro.workloads import build_workload, pointer_chase_memory_bound
 
 #: Scale used for the hot-path timings: big enough that per-cycle costs
 #: dominate Processor construction, small enough for CI.
@@ -43,6 +46,34 @@ def test_simulate_hot_path(benchmark, bench_name, config_name):
     benchmark.extra_info.update({
         "cycles": stats.cycles,
         "retired": stats.retired,
+        "kilocycles_per_second": round(
+            stats.cycles / 1000.0 / benchmark.stats.stats.mean, 1),
+    })
+
+
+def test_simulate_memory_bound(benchmark):
+    """Time the DRAM-latency-dominated pointer chase.
+
+    Every hop of this chase misses DL1 and L2 by construction, so almost
+    all simulated cycles are quiescent waits on a single in-flight load.
+    The memory latency is raised from the paper-era 80 cycles to a
+    modern-memory-wall 400 so the quiescent spans dominate (98% of cycles
+    are elidable).  This is the showcase (and the regression tripwire) for
+    event-horizon cycle elision: most of its wall-clock is spent in cycles
+    the elision driver can jump over arithmetically.
+    """
+    config = replace(MachineConfig(),
+                     memsys=replace(MemSysConfig(), memory_latency=400))
+    program = pointer_chase_memory_bound()
+
+    stats = benchmark(simulate, program, config, name="pointer_chase_mem")
+
+    assert stats.cycles > 0 and stats.retired > 0
+    benchmark.extra_info.update({
+        "cycles": stats.cycles,
+        "retired": stats.retired,
+        "cycles_elided": stats.cycles_elided,
+        "elided_fraction": round(stats.cycles_elided / stats.cycles, 3),
         "kilocycles_per_second": round(
             stats.cycles / 1000.0 / benchmark.stats.stats.mean, 1),
     })

@@ -127,7 +127,11 @@ def _print_summary(verbose: bool = False) -> None:
         line += f", {t.corrupt_quarantined} corrupt quarantined"
     print(line)
     if verbose:
+        elided = (f" ({t.cycles_elided / t.cycles_simulated:.1%} elided)"
+                  if t.cycles_simulated else "")
         print(f"  local simulations:   {t.simulations}")
+        print(f"  cycles simulated:    {t.cycles_simulated}")
+        print(f"  cycles elided:       {t.cycles_elided}{elided}")
         print(f"  slices simulated:    {t.slices_simulated}")
         print(f"  remote jobs:         {t.remote_jobs}")
         print(f"  leases reclaimed:    {t.leases_reclaimed}")

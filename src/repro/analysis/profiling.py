@@ -103,12 +103,17 @@ class ProfileResult:
     wall_seconds: float
     retired: int
     cycles: int
+    cycles_elided: int = 0
     top: List[FunctionProfile] = field(default_factory=list)
     highlights: List[FunctionProfile] = field(default_factory=list)
 
     @property
     def retired_per_second(self) -> float:
         return self.retired / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def elided_fraction(self) -> float:
+        return self.cycles_elided / self.cycles if self.cycles else 0.0
 
 
 def _rows_from_stats(stats: pstats.Stats) -> Dict[Tuple[str, int, str],
@@ -141,13 +146,14 @@ def profile_simulate(benchmarks: Iterable[str],
     programs = [(name, build_workload(name, scale=scale))
                 for name in benchmarks]
     profiler = cProfile.Profile()
-    retired = cycles = 0
+    retired = cycles = cycles_elided = 0
     profiler.enable()
     try:
         for name, program in programs:
             stats = simulate(program, config, name=name)
             retired += stats.retired
             cycles += stats.cycles
+            cycles_elided += stats.cycles_elided
     finally:
         profiler.disable()
 
@@ -166,7 +172,7 @@ def profile_simulate(benchmarks: Iterable[str],
     return ProfileResult(
         benchmarks=benchmarks, scale=scale, variant=config.variant,
         wall_seconds=wall, retired=retired, cycles=cycles,
-        top=top, highlights=highlights)
+        cycles_elided=cycles_elided, top=top, highlights=highlights)
 
 
 def _table(rows: List[FunctionProfile], wall: float, title: str) -> str:
@@ -186,7 +192,9 @@ def report(result: ProfileResult) -> str:
             f"{result.scale:g} (variant: {result.variant or 'baseline'}): "
             f"{result.retired} retired / {result.cycles} cycles in "
             f"{result.wall_seconds:.2f}s "
-            f"({result.retired_per_second:,.0f} retired insts/s)")
+            f"({result.retired_per_second:,.0f} retired insts/s); "
+            f"{result.cycles_elided} cycles elided "
+            f"({result.elided_fraction:.1%} jumped, not stepped)")
     top = _table(result.top, result.wall_seconds,
                  f"\ntop {len(result.top)} by cumulative time")
     hot = _table(result.highlights, result.wall_seconds,
@@ -208,6 +216,7 @@ def to_dict(result: ProfileResult) -> dict:
         "wall_seconds": result.wall_seconds,
         "retired": result.retired,
         "cycles": result.cycles,
+        "cycles_elided": result.cycles_elided,
         "top": [row.to_dict() for row in result.top],
         "highlights": [row.to_dict() for row in result.highlights],
     }

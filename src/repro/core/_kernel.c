@@ -24,6 +24,12 @@
 #define SEQ_BITS 48
 #define SEQ_MASK (((long long)1 << SEQ_BITS) - 1)
 #define PORT_LOAD 2
+/* Mirror of repro.rename.physical.ZERO_PREG (checked by kernel.py). */
+#define ZERO_PREG 0
+
+/* Interned attribute names used by drain_wakeups (set in module init). */
+static PyObject *str_squashed;
+static PyObject *str_dest_preg;
 
 static int
 cmp_longlong(const void *a, const void *b)
@@ -209,11 +215,191 @@ kernel_wakeup(PyObject *Py_UNUSED(self), PyObject *args)
     Py_RETURN_NONE;
 }
 
+/* drain_wakeups(wakeups, values, ready, on_ready) -> None
+ *
+ * The writeback wakeup drain of IssueExecute.writeback: for each scheduled
+ * (dyn, value) pair, skip squashed/destination-less producers and perform
+ * PhysicalRegisterFile.set_value -- store the value, and on the
+ * not-ready -> ready edge fire the on_ready hook (the scheduler wakeup).
+ * The zero register is never written (ZERO_PREG mirror checked by
+ * kernel.py).  ``on_ready`` may be None (no scheduler bound).
+ */
+static PyObject *
+kernel_drain_wakeups(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *wakeups, *values, *ready, *on_ready;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O:drain_wakeups",
+                          &PyList_Type, &wakeups, &PyList_Type, &values,
+                          &PyList_Type, &ready, &on_ready))
+        return NULL;
+
+    for (Py_ssize_t i = 0; i < PyList_GET_SIZE(wakeups); i++) {
+        PyObject *pair = PyList_GET_ITEM(wakeups, i);
+        if (!PyTuple_Check(pair) || PyTuple_GET_SIZE(pair) != 2) {
+            PyErr_SetString(PyExc_TypeError,
+                            "wakeup entries must be (dyn, value) tuples");
+            return NULL;
+        }
+        PyObject *dyn = PyTuple_GET_ITEM(pair, 0);
+        PyObject *value = PyTuple_GET_ITEM(pair, 1);
+
+        PyObject *squashed = PyObject_GetAttr(dyn, str_squashed);
+        if (squashed == NULL)
+            return NULL;
+        const int is_squashed = PyObject_IsTrue(squashed);
+        Py_DECREF(squashed);
+        if (is_squashed < 0)
+            return NULL;
+        if (is_squashed)
+            continue;
+
+        PyObject *preg_obj = PyObject_GetAttr(dyn, str_dest_preg);
+        if (preg_obj == NULL)
+            return NULL;
+        if (preg_obj == Py_None) {
+            Py_DECREF(preg_obj);
+            continue;
+        }
+        const long long preg = PyLong_AsLongLong(preg_obj);
+        Py_DECREF(preg_obj);
+        if (preg == -1 && PyErr_Occurred())
+            return NULL;
+        if (preg == ZERO_PREG)
+            continue;
+        if (preg < 0 || preg >= PyList_GET_SIZE(values)) {
+            PyErr_Format(PyExc_IndexError,
+                         "dest_preg %lld out of range", preg);
+            return NULL;
+        }
+        /* values[preg] = value (always stored, ready or not). */
+        Py_INCREF(value);
+        PyList_SetItem(values, (Py_ssize_t)preg, value);  /* steals value */
+        const int was_ready = PyObject_IsTrue(
+            PyList_GET_ITEM(ready, (Py_ssize_t)preg));
+        if (was_ready < 0)
+            return NULL;
+        if (!was_ready) {
+            Py_INCREF(Py_True);
+            PyList_SetItem(ready, (Py_ssize_t)preg, Py_True);
+            if (on_ready != Py_None) {
+                PyObject *preg_boxed = PyLong_FromLongLong(preg);
+                if (preg_boxed == NULL)
+                    return NULL;
+                PyObject *res = PyObject_CallOneArg(on_ready, preg_boxed);
+                Py_DECREF(preg_boxed);
+                if (res == NULL)
+                    return NULL;
+                Py_DECREF(res);
+            }
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+/* lsq_forward_from(stores_by_addr, by_seq, mem_data_ready, mask, seq,
+ *                  aligned) -> (store | None, data_ready)
+ *
+ * The youngest-older-store probe of LoadStoreQueue.forward_from: bisect the
+ * sorted store-seq bucket for the aligned word address; no older store
+ * means (None, True), otherwise return the store instruction and its
+ * data-readiness flag from the window arrays.
+ */
+static PyObject *
+kernel_lsq_forward_from(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *stores_by_addr, *by_seq, *mem_data_ready;
+    long long mask, seq, aligned;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!LLL:lsq_forward_from",
+                          &PyDict_Type, &stores_by_addr,
+                          &PyDict_Type, &by_seq,
+                          &PyList_Type, &mem_data_ready,
+                          &mask, &seq, &aligned))
+        return NULL;
+
+    PyObject *addr_boxed = PyLong_FromLongLong(aligned);
+    if (addr_boxed == NULL)
+        return NULL;
+    PyObject *stores = PyDict_GetItemWithError(stores_by_addr, addr_boxed);
+    Py_DECREF(addr_boxed);
+    if (stores == NULL) {
+        if (PyErr_Occurred())
+            return NULL;
+        return Py_BuildValue("(OO)", Py_None, Py_True);
+    }
+    if (!PyList_Check(stores)) {
+        PyErr_SetString(PyExc_TypeError, "store bucket must be a list");
+        return NULL;
+    }
+    const Py_ssize_t n = PyList_GET_SIZE(stores);
+    if (n == 0)
+        return Py_BuildValue("(OO)", Py_None, Py_True);
+
+    /* bisect_left over the sorted sequence numbers. */
+    Py_ssize_t lo = 0, hi = n;
+    while (lo < hi) {
+        const Py_ssize_t mid = (lo + hi) / 2;
+        const long long v = PyLong_AsLongLong(PyList_GET_ITEM(stores, mid));
+        if (v == -1 && PyErr_Occurred())
+            return NULL;
+        if (v < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo == 0)
+        return Py_BuildValue("(OO)", Py_None, Py_True);
+
+    PyObject *best_obj = PyList_GET_ITEM(stores, lo - 1);
+    const long long best = PyLong_AsLongLong(best_obj);
+    if (best == -1 && PyErr_Occurred())
+        return NULL;
+    PyObject *store = PyDict_GetItemWithError(by_seq, best_obj);
+    if (store == NULL) {
+        if (!PyErr_Occurred())
+            PyErr_Format(PyExc_KeyError,
+                         "store seq %lld missing from LSQ", best);
+        return NULL;
+    }
+    PyObject *data_ready = PyList_GET_ITEM(mem_data_ready,
+                                           (Py_ssize_t)(best & mask));
+    return Py_BuildValue("(OO)", store, data_ready);
+}
+
+/* lsq_older_unresolved(unresolved, seq) -> bool
+ *
+ * LoadStoreQueue.older_stores_unresolved: the sorted unresolved-store list
+ * is non-empty and its oldest entry is older than the probing load.
+ */
+static PyObject *
+kernel_lsq_older_unresolved(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *unresolved;
+    long long seq;
+
+    if (!PyArg_ParseTuple(args, "O!L:lsq_older_unresolved",
+                          &PyList_Type, &unresolved, &seq))
+        return NULL;
+    if (PyList_GET_SIZE(unresolved) == 0)
+        Py_RETURN_FALSE;
+    const long long first = PyLong_AsLongLong(PyList_GET_ITEM(unresolved, 0));
+    if (first == -1 && PyErr_Occurred())
+        return NULL;
+    return PyBool_FromLong(first < seq);
+}
+
 static PyMethodDef kernel_methods[] = {
     {"select_ready", kernel_select_ready, METH_VARARGS,
      "Port-constrained issue selection over the ready pool."},
     {"wakeup", kernel_wakeup, METH_VARARGS,
      "Promote the watchers of a newly ready physical register."},
+    {"drain_wakeups", kernel_drain_wakeups, METH_VARARGS,
+     "Writeback drain: apply scheduled register wakeups to the PRF."},
+    {"lsq_forward_from", kernel_lsq_forward_from, METH_VARARGS,
+     "Youngest older store forwarding probe over the LSQ indices."},
+    {"lsq_older_unresolved", kernel_lsq_older_unresolved, METH_VARARGS,
+     "Any-older-unresolved-store probe over the sorted seq list."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -228,11 +414,16 @@ static struct PyModuleDef kernel_module = {
 PyMODINIT_FUNC
 PyInit__kernel(void)
 {
+    str_squashed = PyUnicode_InternFromString("squashed");
+    str_dest_preg = PyUnicode_InternFromString("dest_preg");
+    if (str_squashed == NULL || str_dest_preg == NULL)
+        return NULL;
     PyObject *mod = PyModule_Create(&kernel_module);
     if (mod == NULL)
         return NULL;
     if (PyModule_AddIntConstant(mod, "SEQ_BITS", SEQ_BITS) < 0 ||
-        PyModule_AddIntConstant(mod, "PORT_LOAD", PORT_LOAD) < 0) {
+        PyModule_AddIntConstant(mod, "PORT_LOAD", PORT_LOAD) < 0 ||
+        PyModule_AddIntConstant(mod, "ZERO_PREG", ZERO_PREG) < 0) {
         Py_DECREF(mod);
         return NULL;
     }

@@ -42,6 +42,12 @@ class KernelEnvError(SystemExit):
             f"REPRO_KERNEL={value!r}: expected 'py', 'compiled' or 'auto'")
 
 
+#: Entry points a usable build must export; a .so predating any of them is
+#: stale as a whole (partial activation would split the backend per stage).
+#: The kernel-parity lint rule checks each name against the C method table.
+REQUIRED_KERNEL_FUNCTIONS = ("select_ready", "wakeup", "drain_wakeups",
+                             "lsq_forward_from", "lsq_older_unresolved")
+
 _compiled: Optional[object] = None
 _compiled_checked: bool = False
 
@@ -56,11 +62,19 @@ def _load_compiled() -> Optional[object]:
         from repro.core import _kernel  # type: ignore[attr-defined]
     except ImportError:
         return None
-    # The extension bakes in the Window layout constants; refuse to use a
-    # stale build rather than silently corrupting the select order.
+    # The extension bakes in layout constants from window.py and the
+    # zero-register number from rename/physical.py; refuse to use a stale
+    # build rather than silently corrupting the select order or register
+    # writeback.  Imported here (not at module top) because rename sits
+    # above core in the layering.
+    from repro.rename.physical import ZERO_PREG
     if (getattr(_kernel, "SEQ_BITS", None) != _window.SEQ_BITS
-            or getattr(_kernel, "PORT_LOAD", None) != _window.PORT_LOAD):
+            or getattr(_kernel, "PORT_LOAD", None) != _window.PORT_LOAD
+            or getattr(_kernel, "ZERO_PREG", None) != ZERO_PREG):
         return None
+    for fn in REQUIRED_KERNEL_FUNCTIONS:
+        if not hasattr(_kernel, fn):
+            return None
     _compiled = _kernel
     return _compiled
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import gc
 import os
+from heapq import heappop
 from typing import Optional, Tuple
 
 from repro.core.builder import MachineBuilder
@@ -49,6 +50,14 @@ def fast_path_enabled() -> bool:
     available; ``0`` forces the generic :meth:`Processor.step` loop for
     equivalence testing."""
     return os.environ.get("REPRO_FAST_PATH", "1") != "0"
+
+
+def elision_enabled() -> bool:
+    """Validated accessor for ``REPRO_ELIDE`` (the only place it is read):
+    any value but ``0`` lets the fused driver jump the clock across provably
+    quiescent spans (event-horizon cycle elision); ``0`` forces per-cycle
+    iteration for equivalence testing and timing-sensitive debugging."""
+    return os.environ.get("REPRO_ELIDE", "1") != "0"
 
 
 class Processor:
@@ -171,6 +180,95 @@ class Processor:
                     f"(ROB={len(state.rob)}, RS={state.rs.occupancy})")
             self.step()
 
+    def _elide_target(self, cycle: int) -> int:
+        """The furthest cycle the clock may jump to from quiescent ``cycle``.
+
+        Returns ``cycle`` itself when the machine is *not* provably
+        quiescent (some stage would do work, or attempt work with side
+        effects, this cycle).  The caller has already established that no
+        writeback event is scheduled for ``cycle`` and the ready pool is
+        empty; this method checks the remaining stages and computes the
+        horizon -- the earliest future cycle at which any stage could act:
+
+        * fetch -- quiescent when halted, the queue is full, or a redirect
+          is in flight (clamps the jump to ``fetch_resume_cycle``);
+        * rename -- quiescent when the queue head has not decoded yet
+          (clamps to its ready cycle) or is structurally blocked on a full
+          ROB/RS/LSQ.  An unblocked head means rename would run
+          ``_rename_one`` -- whose integration-table retry is not
+          idempotent -- so that is never elided;
+        * commit -- quiescent when the ROB is empty or the head cannot
+          retire.  A head blocked only by the minimum rename-to-retire age
+          clamps the jump to ``rename_cycle + 2``; a retirable head (which
+          would also probe store-port acceptance) is never elided;
+        * events -- the lazily pruned :attr:`IssueExecute.event_cycles`
+          min-heap bounds the jump by the next scheduled wakeup/completion;
+        * run limits -- the jump also stops exactly where the per-cycle
+          loop would raise ``max_cycles`` / deadlock errors.
+
+        Every quiescence condition above changes only through stage activity
+        (events firing, retirement, squash), never with bare time -- the
+        time-dependent conditions are the ones clamped -- so a span that is
+        quiescent at ``cycle`` stays quiescent until the returned target.
+        """
+        state = self.state
+        config = self.config
+        frontend = self.front_end
+        fetch_queue = frontend.fetch_queue
+
+        target = config.max_cycles
+        deadline = state.last_retire_cycle + config.deadlock_cycles + 1
+        if deadline < target:
+            target = deadline
+
+        if (not frontend.fetch_halted
+                and len(fetch_queue) < config.fetch_queue_size):
+            resume = frontend.fetch_resume_cycle
+            if resume <= cycle:
+                return cycle
+            if resume < target:
+                target = resume
+
+        if fetch_queue:
+            head, ready_cycle = fetch_queue[0]
+            if ready_cycle > cycle:
+                if ready_cycle < target:
+                    target = ready_cycle
+            else:
+                rob = state.rob
+                if len(rob._entries) < rob.size:
+                    info = head.info
+                    rs = state.rs
+                    lsq = state.lsq
+                    if not ((info.needs_rs
+                             and len(rs._waiting) >= rs.entries)
+                            or (info.is_mem
+                                and len(lsq._by_seq) >= lsq.size)):
+                        return cycle
+
+        rob_entries = state.rob._entries
+        if rob_entries:
+            head = rob_entries[0]
+            if head.integrated:
+                dest = head.dest_preg
+                blocked = dest is not None and not state.prf.ready[dest]
+            else:
+                blocked = not head.completed
+            if not blocked:
+                earliest = head.rename_cycle + 2
+                if earliest <= cycle:
+                    return cycle
+                if earliest < target:
+                    target = earliest
+
+        execute = self.issue_execute
+        heap = execute.event_cycles
+        while heap and heap[0] <= cycle:
+            heappop(heap)
+        if heap and heap[0] < target:
+            target = heap[0]
+        return target
+
     def _run_phase_fast(self, budget: Optional[int]) -> None:
         """The fused per-cycle loop: skip stages with provably no work.
 
@@ -189,6 +287,15 @@ class Processor:
         All guards read live engine state that squash/recovery mutate in
         place, so a redirect or flush in cycle N is reflected by the guards
         of cycle N+1 exactly as in the generic loop.
+
+        On top of the per-stage skips, a cycle on which *every* stage is
+        provably quiescent (see :meth:`_elide_target`) advances the clock
+        arithmetically to the event horizon in one jump: per-cycle
+        occupancy statistics -- constant across the span, since only stage
+        activity changes them -- are accumulated by multiplication, and the
+        skipped iterations are counted in ``SimStats.cycles_elided``.
+        ``REPRO_ELIDE=0`` disables the jump (bit-identical results either
+        way, only wall-clock changes).
         """
         state = self.state
         config = self.config
@@ -210,8 +317,11 @@ class Processor:
         execute_tick = execute.tick
         rename_tick = self.rename_integrate.tick
         frontend_tick = frontend.tick
+        elide_target = self._elide_target
+        elide = elision_enabled()
         occupancy_sum = 0
         samples = 0
+        elided = 0
         cycle = state.cycle
         try:
             while not arch.halted:
@@ -227,6 +337,16 @@ class Processor:
                         f"(ROB={len(rob_entries)}, RS={len(rs_waiting)})")
                 if cycle in wakeup_events or cycle in complete_events:
                     writeback()
+                elif elide and not rs_ready:
+                    target = elide_target(cycle)
+                    if target > cycle:
+                        span = target - cycle
+                        occupancy_sum += span * len(rs_waiting)
+                        samples += span
+                        elided += span - 1
+                        cycle = target
+                        state.cycle = cycle
+                        continue
                 if rob_entries:
                     commit_tick()
                 if rs_ready:
@@ -244,6 +364,7 @@ class Processor:
         finally:
             stats.rs_occupancy_sum += occupancy_sum
             stats.rs_occupancy_samples += samples
+            stats.cycles_elided += elided
 
     def run(self, max_instructions: Optional[int] = None,
             warmup_instructions: int = 0) -> SimStats:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from heapq import heappush
 from typing import Dict, List
 
+from repro.core import kernel
 from repro.core.diva import SimulationError
 from repro.core.stages.base import PipelineState, RecoveryController
 from repro.isa import semantics
@@ -42,6 +43,12 @@ class IssueExecute:
         #: quiescent fast path in the engine uses it to jump the clock to
         #: the next cycle with work.
         self.event_cycles: List[int] = []
+        # Optional compiled writeback drain (REPRO_KERNEL=compiled); a
+        # bit-identical reimplementation of the Python loop in writeback.
+        self._kernel_drain = None
+        backend, module = kernel.select_backend()
+        if backend == "compiled":
+            self._kernel_drain = module.drain_wakeups
 
     # ==================================================================
     # writeback: wakeups and completions scheduled in earlier cycles
@@ -51,11 +58,16 @@ class IssueExecute:
         cycle = state.cycle
         wakeups = self.wakeup_events.pop(cycle, None)
         if wakeups:
-            set_value = state.prf.set_value
-            for dyn, value in wakeups:
-                if dyn.squashed or dyn.dest_preg is None:
-                    continue
-                set_value(dyn.dest_preg, value)
+            if self._kernel_drain is not None:
+                prf = state.prf
+                self._kernel_drain(wakeups, prf.values, prf.ready,
+                                   prf.on_ready)
+            else:
+                set_value = state.prf.set_value
+                for dyn, value in wakeups:
+                    if dyn.squashed or dyn.dest_preg is None:
+                        continue
+                    set_value(dyn.dest_preg, value)
         completions = self.complete_events.pop(cycle, None)
         if completions:
             for dyn in completions:

@@ -55,6 +55,11 @@ class SimStats:
 
     # Global progress.
     cycles: int = 0
+    #: Cycles the fused driver advanced arithmetically instead of iterating
+    #: (event-horizon elision).  A driver-mechanics counter: machine
+    #: behaviour is bit-identical with elision on or off, so this field is
+    #: excluded from the cross-driver equivalence fingerprint.
+    cycles_elided: int = 0
     fetched: int = 0
     renamed: int = 0
     retired: int = 0

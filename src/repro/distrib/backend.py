@@ -98,8 +98,9 @@ class SerialBackend:
                     program = build_workload(benchmark, scale=scale)
                     programs[(benchmark, scale)] = program
                 runner.telemetry.simulations += 1
-                stats = sharding.simulate_slice(program, config, slice_spec,
-                                                checkpoint, name=benchmark)
+                stats = runner._record_cycles(
+                    sharding.simulate_slice(program, config, slice_spec,
+                                            checkpoint, name=benchmark))
             if use_cache:
                 runner._cache_store(key, stats)
             outcomes[key] = stats
@@ -128,6 +129,7 @@ class PoolBackend:
                     runner._pool_worker, ordered):
                 if simulated:
                     runner.telemetry.simulations += 1
+                    runner._record_cycles(stats)
                 else:
                     runner.telemetry.disk_hits += 1
                 if use_cache:

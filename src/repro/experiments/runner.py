@@ -75,6 +75,8 @@ class RunTelemetry:
     """
 
     simulations: int = 0
+    cycles_simulated: int = 0
+    cycles_elided: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
     memory_evictions: int = 0
@@ -88,6 +90,8 @@ class RunTelemetry:
 
     def reset(self) -> None:
         self.simulations = 0
+        self.cycles_simulated = 0
+        self.cycles_elided = 0
         self.memory_hits = 0
         self.disk_hits = 0
         self.memory_evictions = 0
@@ -310,7 +314,20 @@ def clear_cache(disk: bool = False) -> int:
 def _simulate(benchmark: str, config: MachineConfig, scale: float) -> SimStats:
     program = build_workload(benchmark, scale=scale)
     telemetry.simulations += 1
-    return simulate(program, config, name=benchmark)
+    return _record_cycles(simulate(program, config, name=benchmark))
+
+
+def _record_cycles(stats: SimStats) -> SimStats:
+    """Fold one simulation's cycle counts into the run telemetry.
+
+    ``cycles_elided`` tracks how much of the simulated time the
+    event-horizon driver jumped rather than stepped -- the ``--verbose``
+    summary reports the fraction so a perf investigation can see at a
+    glance whether elision engaged.
+    """
+    telemetry.cycles_simulated += stats.cycles
+    telemetry.cycles_elided += stats.cycles_elided
+    return stats
 
 
 def _cache_lookup(key: str) -> Optional[SimStats]:

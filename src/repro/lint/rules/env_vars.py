@@ -57,6 +57,8 @@ ACCESSOR_REGISTRY: Dict[str, FrozenSet[str]] = {
         {"src/repro/core/kernel.py::select_backend"}),
     "REPRO_FAST_PATH": frozenset(
         {"src/repro/core/pipeline.py::fast_path_enabled"}),
+    "REPRO_ELIDE": frozenset(
+        {"src/repro/core/pipeline.py::elision_enabled"}),
     "REPRO_FAULTS": frozenset(
         {"src/repro/reliability/faults.py::faults_spec"}),
     "REPRO_RETRY_MAX": frozenset(

@@ -57,11 +57,16 @@ TYPED_SLOTS: Dict[Tuple[str, str], str] = {
     ("PipelineState", "rs"): "ReservationStations",
     ("PipelineState", "rob"): "ReorderBuffer",
     ("PipelineState", "lsq"): "LoadStoreQueue",
+    ("PipelineState", "prf"): "PhysicalRegisterFile",
     ("PipelineState", "window"): "Window",
 }
 
-#: Methods of Processor whose bodies the attribute check covers.
-CHECKED_METHODS = ("_fast_path_eligible", "_run_phase_fast")
+#: Methods of Processor whose bodies the attribute check covers.  The
+#: elision-horizon computation is a guard in the same sense as the inline
+#: stage-skip conditions: every attribute it reads must exist, or the
+#: quiescence proof silently diverges from the machine.
+CHECKED_METHODS = ("_fast_path_eligible", "_run_phase_fast",
+                   "_elide_target")
 
 
 def _find_method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:

@@ -8,17 +8,21 @@ the silent pure-Python fallback when ``kernel.py``'s constant check
 refuses a stale build).  This rule fails lint at author time instead by
 cross-checking four things, all statically:
 
-1. every ``win.<field>`` the scheduler passes at its ``_kernel_select`` /
-   ``_kernel_wakeup`` call sites is a declared ``Window.__slots__`` entry
-   (catches a window rename that missed the scheduler);
+1. every ``win.<field>`` passed at a ``_kernel_*`` call site -- in the
+   scheduler (select/wakeup), the LSQ (forwarding probes) or the execute
+   stage (writeback drain) -- is a declared ``Window.__slots__`` entry
+   (catches a window rename that missed a caller);
 2. every such field name also appears as a token in ``_kernel.c`` (catches
-   a window+scheduler rename that missed the C side);
+   a window+caller rename that missed the C side);
 3. every integer ``#define`` in ``_kernel.c`` that shadows a module-level
-   ``window.py`` constant (``SEQ_BITS``, ``PORT_LOAD``, ...) has the same
-   value, and the known layout constants are actually defined;
+   constant of ``window.py`` or ``rename/physical.py`` (``SEQ_BITS``,
+   ``PORT_LOAD``, ``ZERO_PREG``, ...) has the same value, and the known
+   mirrored constants are actually defined;
 4. every constant ``kernel.py`` verifies via ``getattr(_kernel, "X")`` is
    exported by the C module (``PyModule_AddIntConstant``), so the loader's
-   stale-build detection cannot be silently hollowed out.
+   stale-build detection cannot be silently hollowed out;
+5. every function ``kernel.py`` requires via ``hasattr(_kernel, "f")`` is
+   actually registered in the C method table, for the same reason.
 """
 
 from __future__ import annotations
@@ -34,12 +38,22 @@ WINDOW_PY = "src/repro/core/window.py"
 SCHEDULER_PY = "src/repro/core/scheduler.py"
 KERNEL_C = "src/repro/core/_kernel.c"
 KERNEL_PY = "src/repro/core/kernel.py"
+PHYSICAL_PY = "src/repro/rename/physical.py"
+
+#: Python files that call into the compiled kernel (scanned for the
+#: ``win.<field>`` arguments of checks 1 and 2 when present).
+CALLER_FILES = (SCHEDULER_PY,
+                "src/repro/core/lsq.py",
+                "src/repro/core/stages/execute.py")
 
 _DEFINE_RE = re.compile(r"^\s*#\s*define\s+([A-Z_][A-Z0-9_]*)\s+"
                         r"\(?(-?\d+)\)?\s*$", re.MULTILINE)
 _ADD_CONST_RE = re.compile(r'PyModule_AddIntConstant\s*\(\s*\w+\s*,\s*'
                            r'"([A-Za-z_][A-Za-z0-9_]*)"')
-_KERNEL_CALLS = ("_kernel_select", "_kernel_wakeup")
+_METHOD_TABLE_RE = re.compile(r'\{\s*"([A-Za-z_][A-Za-z0-9_]*)"\s*,\s*'
+                              r'kernel_')
+_KERNEL_CALLS = ("_kernel_select", "_kernel_wakeup", "_kernel_drain",
+                 "_kernel_forward", "_kernel_unresolved")
 
 
 def _window_constants(tree: ast.Module) -> Dict[str, int]:
@@ -85,7 +99,7 @@ def _window_locals(func: ast.AST) -> Set[str]:
 
 def _kernel_call_fields(tree: ast.Module) -> List[Tuple[str, int]]:
     """(window_field, lineno) for every ``win.<field>`` argument passed at
-    a ``self._kernel_*`` call site in scheduler.py."""
+    a ``self._kernel_*`` call site in one caller file."""
     fields: List[Tuple[str, int]] = []
     for func in ast.walk(tree):
         if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -121,6 +135,20 @@ def _kernel_py_checked_constants(tree: ast.Module) -> Set[str]:
     return names
 
 
+def _kernel_py_required_functions(tree: ast.Module) -> Set[str]:
+    """The ``REQUIRED_KERNEL_FUNCTIONS`` tuple kernel.py's loader checks
+    with ``hasattr`` before activating a build."""
+    for node in tree.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "REQUIRED_KERNEL_FUNCTIONS"
+                and isinstance(node.value, (ast.Tuple, ast.List))):
+            return {elt.value for elt in node.value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)}
+    return set()
+
+
 class KernelParityRule:
     id = "kernel-parity"
     description = ("_kernel.c field names and layout constants stay in "
@@ -133,7 +161,6 @@ class KernelParityRule:
 
     def check(self, project: Project) -> Iterator[Finding]:
         window_tree = project.tree(project.root / WINDOW_PY)
-        scheduler_tree = project.tree(project.root / SCHEDULER_PY)
         c_source = project.source(project.root / KERNEL_C)
 
         slots = _window_slots(window_tree)
@@ -144,46 +171,58 @@ class KernelParityRule:
                           "field list")
             return
         constants = _window_constants(window_tree)
+        if project.exists(PHYSICAL_PY):
+            # The zero-register number lives one layer up; the C writeback
+            # drain mirrors it the same way it mirrors the window layout.
+            constants.update(
+                _window_constants(project.tree(project.root / PHYSICAL_PY)))
         c_tokens = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", c_source))
 
-        # 1 + 2: scheduler-passed window fields exist and reach the C side.
-        passed = _kernel_call_fields(scheduler_tree)
+        # 1 + 2: caller-passed window fields exist and reach the C side.
+        passed: List[Tuple[str, str, int]] = []
+        for caller in CALLER_FILES:
+            if not project.exists(caller):
+                continue
+            caller_tree = project.tree(project.root / caller)
+            passed.extend((caller, field, lineno) for field, lineno
+                          in _kernel_call_fields(caller_tree))
         if not passed:
             yield Finding(SCHEDULER_PY, 0, self.id,
-                          "no win.<field> arguments found at the "
-                          "_kernel_select/_kernel_wakeup call sites; the "
-                          "parity check cannot see the shared layout")
-        for field, lineno in passed:
+                          "no win.<field> arguments found at any "
+                          "_kernel_* call site; the parity check cannot "
+                          "see the shared layout")
+        for caller, field, lineno in passed:
             if field not in slots:
                 yield Finding(
-                    SCHEDULER_PY, lineno, self.id,
+                    caller, lineno, self.id,
                     f"kernel call passes window field `{field}` which is "
                     f"not in Window.__slots__ (renamed on one side only?)")
             elif field not in c_tokens:
                 yield Finding(
-                    SCHEDULER_PY, lineno, self.id,
+                    caller, lineno, self.id,
                     f"kernel call passes window field `{field}` but "
                     f"_kernel.c never mentions it; the C loop is out of "
-                    f"step with the scheduler")
+                    f"step with its caller")
 
-        # 3: shadowed #define values match window.py.
+        # 3: shadowed #define values match the Python-side constants.
         defines = {name: int(value)
                    for name, value in _DEFINE_RE.findall(c_source)}
         for name, value in sorted(defines.items()):
             if name in constants and constants[name] != value:
                 yield Finding(
                     KERNEL_C, 0, self.id,
-                    f"#define {name} {value} disagrees with window.py's "
-                    f"{name} = {constants[name]}")
-        for required in ("SEQ_BITS", "PORT_LOAD"):
+                    f"#define {name} {value} disagrees with the "
+                    f"Python-side {name} = {constants[name]}")
+        for required in ("SEQ_BITS", "PORT_LOAD", "ZERO_PREG"):
             if required in constants and required not in defines:
                 yield Finding(
                     KERNEL_C, 0, self.id,
-                    f"layout constant {required} is not #defined in "
+                    f"mirrored constant {required} is not #defined in "
                     f"_kernel.c (the compiled loops would be built "
                     f"against an unchecked layout)")
 
-        # 4: the loader's stale-build check matches the exported constants.
+        # 4 + 5: the loader's stale-build check matches the exported
+        # constants and the registered entry points.
         if project.exists(KERNEL_PY):
             kernel_tree = project.tree(project.root / KERNEL_PY)
             exported = set(_ADD_CONST_RE.findall(c_source))
@@ -195,3 +234,11 @@ class KernelParityRule:
                         f"extension but _kernel.c never exports it via "
                         f"PyModule_AddIntConstant, so the stale-build "
                         f"check always fails open to pure Python")
+            methods = set(_METHOD_TABLE_RE.findall(c_source))
+            for name in sorted(_kernel_py_required_functions(kernel_tree)):
+                if name not in methods:
+                    yield Finding(
+                        KERNEL_PY, 0, self.id,
+                        f"kernel.py requires kernel function `{name}` but "
+                        f"_kernel.c's method table never registers it, so "
+                        f"the build always fails open to pure Python")

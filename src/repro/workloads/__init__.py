@@ -23,6 +23,7 @@ from repro.workloads.kernels import (
     array_sum,
     fib_recursive,
     pointer_chase,
+    pointer_chase_memory_bound,
     save_restore_chain,
     matrix_smooth,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "array_sum",
     "fib_recursive",
     "pointer_chase",
+    "pointer_chase_memory_bound",
     "save_restore_chain",
     "matrix_smooth",
     "WorkloadSpec",

@@ -152,6 +152,55 @@ def pointer_chase(nodes: int = 64, hops: int = 256) -> Program:
     return b.build(entry="main")
 
 
+def pointer_chase_memory_bound(nodes: int = 12, hops: int = 2048,
+                               stride: int = 512 * 1024) -> Program:
+    """A pointer chase whose every hop misses all the way to main memory.
+
+    The ring nodes sit ``stride`` bytes apart.  The default stride equals
+    one way of the 2MB 4-way L2 (8192 sets x 64-byte lines), so every node
+    maps to the *same* set of both the L2 (4 ways) and the 32KB 2-way DL1;
+    with more nodes than ways, LRU evicts each line long before the ring
+    comes back around and every hop pays the full main-memory latency.
+    Serial dependent loads mean the machine fills its windows and then sits
+    provably idle for most of each miss -- the workload that event-horizon
+    cycle elision is for, and the adversarial case for any clocking scheme
+    that must stay bit-identical across long quiescent spans.  The chase
+    loop is kept to the minimal three instructions (dependent load, trip
+    counter, branch) so the active cycles between misses stay small next to
+    the quiescent span of each miss.
+    """
+    b = ProgramBuilder(name=f"pointer_chase_mem_{nodes}_{hops}")
+    b.label("main")
+    b.li("gp", GLOBAL_BASE)
+    b.li("t5", stride)
+    # Build the ring: node[i].next = &node[i+1], last points back to first.
+    b.li("t0", 0)
+    b.li("t1", nodes - 1)
+    b.mov("t2", "gp")
+    b.label("build")
+    b.rr("addq", "t3", "t2", "t5")
+    b.stq("t3", 0, "t2")             # next pointer
+    b.stq("t0", 8, "t2")             # payload = index
+    b.mov("t2", "t3")
+    b.ri("addqi", "t0", "t0", 1)
+    b.rr("cmplt", "t4", "t0", "t1")
+    b.cbr("bne", "t4", "build")
+    b.stq("gp", 0, "t2")             # close the ring
+    b.stq("t0", 8, "t2")
+    # Chase: nothing but the serial dependent load and loop control.
+    b.li("s1", hops)
+    b.mov("t2", "gp")
+    b.label("chase")
+    b.ldq("t2", 0, "t2")
+    b.ri("subqi", "s1", "s1", 1)
+    b.cbr("bgt", "s1", "chase")
+    # Exit with the payload of the final node (one last dependent load),
+    # so a wrong chase cannot terminate with the right value.
+    b.ldq("s0", 8, "t2")
+    _exit_with(b, "s0")
+    return b.build(entry="main")
+
+
 def save_restore_chain(depth: int = 6, iterations: int = 32) -> Program:
     """A chain of functions, each saving/restoring callee-saved registers.
 

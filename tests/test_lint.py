@@ -322,6 +322,8 @@ def test_cache_key_not_applicable_on_fixture_trees(tmp_path):
 # kernel-parity (copies of the real files, mutated)
 
 _PARITY_FILES = ("src/repro/core/window.py", "src/repro/core/scheduler.py",
+                 "src/repro/core/lsq.py", "src/repro/core/stages/execute.py",
+                 "src/repro/rename/physical.py",
                  "src/repro/core/_kernel.c", "src/repro/core/kernel.py")
 
 
