@@ -4,6 +4,7 @@ Subcommands::
 
     repro run      -- simulate benchmarks under the paper's configurations
     repro figures  -- regenerate the paper's figure/table reports
+    repro trace    -- per-instruction pipeline trace (JSONL + Konata)
     repro submit   -- publish a sweep to the distributed work queue
     repro worker   -- drain jobs from the queue (run any number of these)
     repro fleet    -- supervise N workers: restart-on-crash, graceful drain
@@ -108,40 +109,13 @@ def _queue_from(args: argparse.Namespace):
 def _print_summary(verbose: bool = False) -> None:
     """The post-run provenance line(s): who computed what.
 
-    ``simulations`` only counts work done by this process (and its pool
-    children); jobs executed by remote workers under the distributed
-    backend are reported separately so the summary stays truthful.
+    Rendered by the shared formatter from the process-wide metrics
+    registry (:mod:`repro.obs.metrics`) -- the same source the worker
+    exit line uses -- so every surface reports identical numbers.
     """
-    from repro.experiments import runner
+    from repro.obs import metrics
 
-    t = runner.telemetry
-    sliced = t.slices_simulated
-    line = (f"\n{t.simulations} simulations"
-            + (f" ({sliced} slices)" if sliced else "") + ", "
-            f"{t.memory_hits} memory hits, {t.disk_hits} disk hits")
-    if t.remote_jobs:
-        line += f", {t.remote_jobs} remote jobs"
-    if t.leases_reclaimed:
-        line += f", {t.leases_reclaimed} leases reclaimed"
-    if t.corrupt_quarantined:
-        line += f", {t.corrupt_quarantined} corrupt quarantined"
-    print(line)
-    if verbose:
-        elided = (f" ({t.cycles_elided / t.cycles_simulated:.1%} elided)"
-                  if t.cycles_simulated else "")
-        print(f"  local simulations:   {t.simulations}")
-        print(f"  cycles simulated:    {t.cycles_simulated}")
-        print(f"  cycles elided:       {t.cycles_elided}{elided}")
-        print(f"  slices simulated:    {t.slices_simulated}")
-        print(f"  remote jobs:         {t.remote_jobs}")
-        print(f"  leases reclaimed:    {t.leases_reclaimed}")
-        print(f"  memory hits:         {t.memory_hits}")
-        print(f"  disk hits:           {t.disk_hits}")
-        print(f"  memory evictions:    {t.memory_evictions}")
-        print(f"  io retries:          {t.io_retries}")
-        print(f"  corrupt quarantined: {t.corrupt_quarantined}")
-        print(f"  cache degraded:      {t.cache_degraded}")
-        print(f"  fenced publishes:    {t.fenced}")
+    print(metrics.format_run_summary(verbose))
 
 
 def _check_shards(args: argparse.Namespace) -> None:
@@ -389,16 +363,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if summary.ok else 1
 
 
-def _num(value: object, cast, default):
-    """Defensive numeric conversion for operator-facing status output:
-    a corrupt stats file must degrade a line, never traceback the CLI."""
-    try:
-        return cast(value)
-    except (TypeError, ValueError):
-        return default
-
-
 def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.obs import dashboard
+
     queue = _queue_from(args)
     if args.purge:
         removed = queue.purge()
@@ -409,38 +376,58 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(f"pruned {removed} terminal record(s) (done/dead/worker "
               f"stats older than {args.prune:g}h) from {queue.root}")
         return 0
-    status = queue.status()
-    print(f"queue:    {status.root}")
-    if not queue.root.is_dir():
-        print("(queue directory does not exist yet: nothing submitted)")
-    print(f"pending:  {status.pending}")
-    print(f"claimed:  {status.claimed}")
-    print(f"done:     {status.done}")
-    print(f"dead:     {status.dead}")
-    if status.leases:
-        print("leases:")
-        for worker, age, job_id in status.leases:
-            print(f"  {worker:<28} age {age:6.1f}s  {job_id[-16:]}")
-    if status.workers:
-        print("workers:")
-        import time as _time
+    if args.watch:
+        if args.interval <= 0:
+            raise SystemExit(f"invalid --interval {args.interval}: "
+                             f"must be > 0")
+        dashboard.watch(queue, interval=args.interval,
+                        refreshes=args.refreshes)
+        return 0
+    print(dashboard.render_status(queue))
+    return 0
 
-        now = _time.time()
-        for name, stats in sorted(status.workers.items()):
-            done = (_num(stats.get("executed", 0), int, 0)
-                    + _num(stats.get("cache_hits", 0), int, 0))
-            started = _num(stats.get("started_at", now), float, now)
-            elapsed = max(1e-9, now - started)
-            rate = 60.0 * done / elapsed
-            print(f"  {name:<28} {done:>5} job(s)  {rate:7.1f} jobs/min  "
-                  f"failed {_num(stats.get('failed', 0), int, 0)}  "
-                  f"reclaimed {_num(stats.get('reclaimed', 0), int, 0)}")
-    if status.dead:
-        print("dead letters:")
-        for dead in queue.dead_jobs():
-            last = (dead.errors or ["unknown"])[-1].strip().splitlines()
-            print(f"  {dead.key[:16]} after {dead.attempts} attempt(s): "
-                  f"{last[-1] if last else 'unknown'}")
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one benchmark's pipeline events (``repro trace``).
+
+    Writes ``<prefix>.jsonl`` (one lifecycle event per line) and
+    ``<prefix>.kanata`` (a Konata-viewer pipetrace).  Tracing forces the
+    per-cycle driver (no span elision), so expect traced runs to be
+    slower than ``repro run``; statistics are bit-identical either way.
+    """
+    from repro.core import MachineConfig, simulate
+    from repro.experiments import runner
+    from repro.obs.trace import PipelineTracer, default_trace_prefix
+    from repro.workloads import build_workload
+
+    if args.benchmark not in runner.DEFAULT_BENCHMARKS:
+        raise SystemExit(
+            f"unknown benchmark: {args.benchmark} "
+            f"(available: {', '.join(runner.DEFAULT_BENCHMARKS)})")
+    if args.no_jsonl and args.no_konata:
+        raise SystemExit("nothing to write: drop one of "
+                         "--no-jsonl/--no-konata")
+    scale = runner.default_scale() if args.scale is None else args.scale
+    config = MachineConfig()
+    variant = _resolve_variant(args)
+    if variant is not None:
+        config = config.with_variant(variant)
+        print(f"variant: {variant}")
+    prefix = args.out if args.out else default_trace_prefix()
+    jsonl_path = None if args.no_jsonl else f"{prefix}.jsonl"
+    konata_path = None if args.no_konata else f"{prefix}.kanata"
+    program = build_workload(args.benchmark, scale=scale)
+    with PipelineTracer(jsonl_path=jsonl_path,
+                        konata_path=konata_path) as tracer:
+        stats = simulate(program, config, name=args.benchmark,
+                         max_instructions=args.max_instructions,
+                         tracer=tracer)
+    print(f"{args.benchmark}: {stats.retired} retired in {stats.cycles} "
+          f"cycles (IPC {stats.ipc:.3f}); traced {tracer.fetches} fetches, "
+          f"{tracer.retires} retires, {tracer.squashes} squashes")
+    for path in (jsonl_path, konata_path):
+        if path is not None:
+            print(f"wrote {path}")
     return 0
 
 
@@ -480,7 +467,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     import os
 
-    from repro.experiments import ablations, diagnostics, scenario_matrix
+    from repro.experiments import (ablations, cpistack, diagnostics,
+                                   scenario_matrix)
     from repro.experiments import figure4, figure5, figure6, figure7
     from repro.experiments import runner
 
@@ -520,6 +508,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                       ablations.report),
         "scenarios": (lambda: scenario_matrix.run(**common),
                       scenario_matrix.report),
+        "cpistack": (lambda: cpistack.run(variant=variant, **common),
+                     cpistack.report),
     }
     wanted = args.figures.split(",") if args.figures else ["4", "5", "6", "7"]
     unknown = [f for f in wanted if f not in available]
@@ -666,11 +656,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_fig)
     p_fig.add_argument("--figures", default=None, metavar="LIST",
                        help="comma-separated: 4,5,6,7,diagnostics,ablations,"
-                            "scenarios (default: 4,5,6,7)")
+                            "scenarios,cpistack (default: 4,5,6,7)")
     p_fig.add_argument("--plot-dir", default=None, metavar="DIR",
                        help="also render PNG panels into DIR (requires "
                             "matplotlib)")
     p_fig.set_defaults(func=_cmd_figures)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="trace one benchmark's pipeline events (JSONL + Konata)")
+    p_tr.add_argument("benchmark", metavar="BENCHMARK",
+                      help="benchmark to trace (see --benchmarks all)")
+    p_tr.add_argument("--scale", type=float, default=None,
+                      help="workload scale factor (default: REPRO_SCALE "
+                           "or 0.5)")
+    p_tr.add_argument("--variant", default=None, metavar="NAME",
+                      help="machine variant to trace (default: "
+                           "REPRO_VARIANT or baseline)")
+    p_tr.add_argument("--max-instructions", type=int, default=None,
+                      metavar="N",
+                      help="stop after N retired instructions (default: "
+                           "run to completion)")
+    p_tr.add_argument("--out", default=None, metavar="PREFIX",
+                      help="output path prefix for PREFIX.jsonl and "
+                           "PREFIX.kanata (default: REPRO_TRACE or "
+                           "'trace')")
+    p_tr.add_argument("--no-jsonl", action="store_true",
+                      help="skip the JSON-lines event stream")
+    p_tr.add_argument("--no-konata", action="store_true",
+                      help="skip the Konata pipetrace file")
+    p_tr.set_defaults(func=_cmd_trace)
 
     p_sub = sub.add_parser(
         "submit",
@@ -736,6 +751,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_st = sub.add_parser(
         "status", help="show queue depth, lease ages and worker throughput")
     _add_queue_args(p_st)
+    p_st.add_argument("--watch", action="store_true",
+                      help="live dashboard: redraw the status every "
+                           "--interval seconds until Ctrl-C")
+    p_st.add_argument("--interval", type=float, default=2.0, metavar="S",
+                      help="--watch refresh period (default: 2s)")
+    p_st.add_argument("--refreshes", type=int, default=None, metavar="N",
+                      help="--watch: stop after N redraws (default: "
+                           "until Ctrl-C)")
     p_st.add_argument("--purge", action="store_true",
                       help="delete every job file (all states), lease and "
                            "worker record in the queue -- including live "

@@ -204,6 +204,41 @@ def plot_scenarios(result, outdir: Path) -> Path:
     return path
 
 
+def plot_cpistack(result, outdir: Path) -> Path:
+    """Stacked CPI-contribution bars, one pair (none/integration) per
+    benchmark, segmented by stall bucket."""
+    plt = _pyplot()
+    from repro.experiments.cpistack import CONFIGS
+    from repro.obs.cpi import CPI_BUCKETS
+
+    benchmarks = result.benchmarks
+    fig, ax = plt.subplots(
+        figsize=(max(7.0, 1.1 * len(benchmarks) + 2), 4.4))
+    positions = range(len(benchmarks))
+    width = 0.8 / len(CONFIGS)
+    hatches = {"none": None, "integration": "//"}
+    colors = plt.rcParams["axes.prop_cycle"].by_key()["color"]
+    for i, config in enumerate(CONFIGS):
+        offsets = [p + (i - (len(CONFIGS) - 1) / 2) * width
+                   for p in positions]
+        bottoms = [0.0] * len(benchmarks)
+        for j, bucket in enumerate(CPI_BUCKETS):
+            values = [result.stack(config, n)[bucket] for n in benchmarks]
+            ax.bar(offsets, values, width=width, bottom=bottoms,
+                   color=colors[j % len(colors)], hatch=hatches[config],
+                   label=bucket if i == 0 else None)
+            bottoms = [b + v for b, v in zip(bottoms, values)]
+    ax.set_xticks(list(positions))
+    ax.set_xticklabels(benchmarks, rotation=45, ha="right", fontsize=8)
+    ax.set_ylabel("CPI contribution (cycles / retired)")
+    ax.set_title("CPI stall stacks -- plain vs hatched = "
+                 "no-integration vs integration")
+    ax.legend(fontsize=8)
+    path = _save(fig, outdir, "cpistack.png")
+    plt.close(fig)
+    return path
+
+
 #: Figure-name -> plotter, keyed like the CLI ``--figures`` names.
 PLOTTERS = {
     "4": plot_figure4,
@@ -211,6 +246,7 @@ PLOTTERS = {
     "6": plot_figure6,
     "7": plot_figure7,
     "scenarios": plot_scenarios,
+    "cpistack": plot_cpistack,
 }
 
 

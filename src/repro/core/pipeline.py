@@ -42,6 +42,14 @@ from repro.core.stages.rename import RenameIntegrate
 from repro.core.stats import SimStats
 from repro.functional.state import ArchState
 from repro.isa.program import Program
+from repro.obs.cpi import (
+    CPI_FRONTEND_EMPTY,
+    CPI_MEMORY,
+    CPI_RENAME_STALL,
+    CPI_RETIRED,
+    CPI_WAITING_OPERANDS,
+    classify_stall,
+)
 
 
 def fast_path_enabled() -> bool:
@@ -67,7 +75,8 @@ class Processor:
                  config: Optional[MachineConfig] = None,
                  name: Optional[str] = None,
                  initial_state: Optional[ArchState] = None,
-                 builder: Optional[MachineBuilder] = None):
+                 builder: Optional[MachineBuilder] = None,
+                 tracer=None):
         self.program = program
         self.config = config or MachineConfig()
         if builder is None:
@@ -80,6 +89,12 @@ class Processor:
         machine = builder.build(program, self.config, name=name,
                                 initial_state=initial_state)
         self.state = machine.state
+        #: Optional :class:`~repro.obs.trace.PipelineTracer` receiving the
+        #: per-instruction lifecycle hooks from every stage.  An active
+        #: tracer disables span elision (there would be no per-cycle events
+        #: to observe inside a jump); results are bit-identical either way.
+        self.tracer = tracer
+        self.state.tracer = tracer
         self.front_end = machine.front_end
         self.recovery = machine.recovery
         self.rename_integrate = machine.rename_integrate
@@ -128,13 +143,19 @@ class Processor:
         redirects take effect before the next fetch.
         """
         state = self.state
+        stats = state.stats
+        retired_before = stats.retired
         self.issue_execute.writeback()
         self.commit_diva.tick()
         self.issue_execute.tick()
         self.rename_integrate.tick()
         self.front_end.tick()
-        state.stats.rs_occupancy_sum += state.rs.occupancy
-        state.stats.rs_occupancy_samples += 1
+        stats.rs_occupancy_sum += state.rs.occupancy
+        stats.rs_occupancy_samples += 1
+        if stats.retired != retired_before:
+            stats.cpi_stack[CPI_RETIRED] += 1
+        else:
+            stats.cpi_stack[classify_stall(state)] += 1
         state.cycle += 1
 
     def _fast_path_eligible(self) -> bool:
@@ -318,11 +339,19 @@ class Processor:
         rename_tick = self.rename_integrate.tick
         frontend_tick = frontend.tick
         elide_target = self._elide_target
-        elide = elision_enabled()
+        # An active tracer wants one hook call per per-cycle event, and an
+        # elided span by construction has none; forcing REPRO_ELIDE-off
+        # semantics keeps the trace complete (results are bit-identical).
+        elide = elision_enabled() and state.tracer is None
+        classify = classify_stall
+        prf_ready = state.prf.ready
         occupancy_sum = 0
         samples = 0
         elided = 0
+        cpi_retired = 0
+        stalls: dict = {}
         cycle = state.cycle
+        retired_at = state.last_retire_cycle
         try:
             while not arch.halted:
                 if budget is not None and stats.retired >= budget:
@@ -344,6 +373,13 @@ class Processor:
                         occupancy_sum += span * len(rs_waiting)
                         samples += span
                         elided += span - 1
+                        # Nothing retires inside a quiescent span and every
+                        # classify_stall condition is constant across it
+                        # (the span is clamped before the head's age gate
+                        # opens and before the fetch head decodes), so the
+                        # whole span takes the blame of the current state.
+                        bucket = classify(state)
+                        stalls[bucket] = stalls.get(bucket, 0) + span
                         cycle = target
                         state.cycle = cycle
                         continue
@@ -359,12 +395,48 @@ class Processor:
                     frontend_tick()
                 occupancy_sum += len(rs_waiting)
                 samples += 1
+                # ``last_retire_cycle`` is stamped by every retirement, so
+                # any move past the ``retired_at`` watermark means this
+                # cycle retired.  The stall branch is an inline mirror of
+                # :func:`repro.obs.cpi.classify_stall` over hoisted locals;
+                # the fast/slow fingerprint equivalence tests (which
+                # include ``cpi_stack``) hold the two in lockstep.
+                if state.last_retire_cycle != retired_at:
+                    retired_at = state.last_retire_cycle
+                    cpi_retired += 1
+                else:
+                    if rob_entries:
+                        head = rob_entries[0]
+                        if head.integrated:
+                            dest = head.dest_preg
+                            if dest is not None and not prf_ready[dest]:
+                                bucket = CPI_WAITING_OPERANDS
+                            else:
+                                bucket = CPI_RENAME_STALL
+                        elif head.completed:
+                            bucket = CPI_RENAME_STALL
+                        elif head.issued and head.info.is_mem:
+                            bucket = CPI_MEMORY
+                        else:
+                            bucket = CPI_WAITING_OPERANDS
+                    else:
+                        bucket = state.stall_cause
+                        if bucket is None:
+                            bucket = CPI_FRONTEND_EMPTY
+                    stalls[bucket] = stalls.get(bucket, 0) + 1
                 cycle += 1
                 state.cycle = cycle
         finally:
             stats.rs_occupancy_sum += occupancy_sum
             stats.rs_occupancy_samples += samples
             stats.cycles_elided += elided
+            # Flush only non-zero buckets: a zero Counter entry would
+            # serialize (and fingerprint) differently from an absent key.
+            if cpi_retired:
+                stats.cpi_stack[CPI_RETIRED] += cpi_retired
+            cpi_stack = stats.cpi_stack
+            for bucket, count in stalls.items():
+                cpi_stack[bucket] += count
 
     def run(self, max_instructions: Optional[int] = None,
             warmup_instructions: int = 0) -> SimStats:
@@ -425,7 +497,8 @@ def simulate(program: Program, config: Optional[MachineConfig] = None,
              max_instructions: Optional[int] = None,
              initial_state: Optional[ArchState] = None,
              warmup_instructions: int = 0,
-             builder: Optional[MachineBuilder] = None) -> SimStats:
+             builder: Optional[MachineBuilder] = None,
+             tracer=None) -> SimStats:
     """Convenience wrapper: build a :class:`Processor` and run it.
 
     ``initial_state`` starts the machine from an architectural checkpoint
@@ -434,9 +507,11 @@ def simulate(program: Program, config: Optional[MachineConfig] = None,
     first; ``max_instructions`` then stops the run after exactly that many
     counted retirements.  Together they simulate one slice of a sharded
     run.  ``builder`` overrides the machine variant resolved from
-    ``config.variant``.
+    ``config.variant``; ``tracer`` attaches a
+    :class:`~repro.obs.trace.PipelineTracer` to the lifecycle hooks.
     """
     processor = Processor(program, config=config, name=name,
-                          initial_state=initial_state, builder=builder)
+                          initial_state=initial_state, builder=builder,
+                          tracer=tracer)
     return processor.run(max_instructions=max_instructions,
                          warmup_instructions=warmup_instructions)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Protocol, runtime_checkable
 from repro.isa.instruction import DynInst
 from repro.isa.opcodes import OpClass
 from repro.isa.program import INST_SIZE
+from repro.obs.cpi import CPI_SQUASH_RECOVERY
 
 # The opcode-class groupings the stages route on (reservation-station
 # occupancy, rename-complete classes, ALU-like execution, indirect control)
@@ -56,7 +57,8 @@ class PipelineState:
         "program", "config", "arch", "diva", "mem", "predictor", "prf",
         "map_table", "renamer", "integration", "rob", "rs", "lsq", "cht",
         "window", "stats", "cycle", "seq", "last_retire_cycle",
-        "preg_producer", "predictions", "retire_budget",
+        "preg_producer", "predictions", "retire_budget", "tracer",
+        "stall_cause",
     )
 
     def __init__(self, *, program, config, arch, diva, mem, predictor, prf,
@@ -91,6 +93,14 @@ class PipelineState:
         #: commit stage refuses to retire past it, so a slice ends on a
         #: precise architectural instruction boundary.
         self.retire_budget: Optional[int] = None
+        #: Optional :class:`~repro.obs.trace.PipelineTracer`.  Every stage
+        #: hook is guarded by a ``tracer is None`` check, so an untraced
+        #: run pays nothing for the observability layer.
+        self.tracer = None
+        #: Recovery blame for empty-ROB cycles (a CPI-stack bucket name
+        #: from :mod:`repro.obs.cpi`, or None): set by squash/DIVA-fault
+        #: recovery, cleared by the next innocent retirement.
+        self.stall_cause: Optional[str] = None
 
 
 class RecoveryController:
@@ -122,6 +132,8 @@ class RecoveryController:
         """Common squash worker: walk the squashed instructions youngest
         first, undoing their rename effects, then flush the front end."""
         state = self.state
+        tracer = state.tracer
+        cycle = state.cycle
         seqs = set()
         for dyn in squashed:            # youngest first (ROB pop order)
             dyn.squashed = True
@@ -129,10 +141,15 @@ class RecoveryController:
             state.renamer.squash(dyn)
             state.predictions.pop(dyn.seq, None)
             state.stats.squashed += 1
+            if tracer is not None:
+                tracer.on_squash(dyn, cycle)
         if seqs:
             state.rs.squash(seqs)
             state.lsq.squash(seqs)
         self.frontend.flush(redirect_pc)
+        # Empty-ROB cycles until the next innocent retirement are recovery,
+        # not front-end supply (see repro.obs.cpi).
+        state.stall_cause = CPI_SQUASH_RECOVERY
 
     # ------------------------------------------------------------------
     def recover_predictor_after(self, dyn: DynInst, taken: bool,

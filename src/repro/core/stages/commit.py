@@ -17,6 +17,7 @@ from repro.core.stats import IntegrationType, ResultStatus, distance_bucket
 from repro.isa.instruction import DynInst, StaticInst
 from repro.isa.opcodes import OpClass, is_load
 from repro.isa.registers import REG_SP
+from repro.obs.cpi import CPI_INTEGRATION_REPLAY
 
 
 def integration_type(inst: StaticInst) -> Optional[IntegrationType]:
@@ -163,6 +164,17 @@ class CommitDiva:
             state.predictions.pop(dyn.seq, None)
         stats = state.stats
         stats.retired += 1
+        if dyn.mis_integrated:
+            # The refill after the mis-integration flush is replay work;
+            # do_squash already blamed it on squash_recovery, override.
+            state.stall_cause = CPI_INTEGRATION_REPLAY
+        elif not (dyn.branch_mispredicted or dyn.mem_mispeculated):
+            # An innocent retirement ends the recovery window: later
+            # empty-ROB cycles are ordinary front-end supply again.
+            state.stall_cause = None
+        tracer = state.tracer
+        if tracer is not None:
+            tracer.on_retire(dyn, cycle)
 
         cache = self._itype_by_pc
         itype = cache.get(dyn.pc, False)

@@ -79,6 +79,9 @@ class IssueExecute:
         dyn.completed = True
         dyn.executed = True
         dyn.complete_cycle = self.state.cycle
+        tracer = self.state.tracer
+        if tracer is not None:
+            tracer.on_complete(dyn, self.state.cycle)
         cls = dyn.cls
         if cls is OpClass.COND_BRANCH:
             self._resolve_branch(dyn)
@@ -181,6 +184,9 @@ class IssueExecute:
         cycle = state.cycle
         dyn.issue_cycle = cycle
         state.stats.issued += 1
+        tracer = state.tracer
+        if tracer is not None:
+            tracer.on_issue(dyn, cycle)
         inst = dyn.inst
         info = dyn.info
         win = state.window

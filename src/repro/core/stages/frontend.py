@@ -59,6 +59,7 @@ class FrontEnd:
         # branch-prediction path below invalidating it.
         snap = None
         fetched = 0
+        tracer = state.tracer
         for _ in range(config.fetch_width):
             inst = program_at(fetch_pc)
             if inst is None:
@@ -67,6 +68,8 @@ class FrontEnd:
             state.seq += 1
             dyn = DynInst(state.seq, inst)
             dyn.fetch_cycle = cycle
+            if tracer is not None:
+                tracer.on_fetch(dyn, cycle)
             if snap is None:
                 snap = predictor.snapshot()
                 depth = len(snap[1])
@@ -96,10 +99,13 @@ class FrontEnd:
     def flush(self, redirect_pc: int) -> None:
         """Drop all fetched-but-unrenamed work and redirect fetch."""
         state = self.state
+        tracer = state.tracer
         for dyn, _ in self.fetch_queue:
             dyn.squashed = True
             state.predictions.pop(dyn.seq, None)
             state.stats.squashed += 1
+            if tracer is not None:
+                tracer.on_squash(dyn, state.cycle)
         self.fetch_queue.clear()
         self.fetch_pc = redirect_pc
         self.fetch_resume_cycle = state.cycle + 1

@@ -63,6 +63,7 @@ class RenameIntegrate:
         rename_one = self._rename_one
         renamed = 0
         width = state.config.rename_width
+        tracer = state.tracer
         while renamed < width and fetch_queue:
             dyn, ready_cycle = fetch_queue[0]
             if ready_cycle > cycle or len(rob_entries) >= rob_size:
@@ -83,6 +84,8 @@ class RenameIntegrate:
             rob.push(dyn)
             stats.renamed += 1
             renamed += 1
+            if tracer is not None:
+                tracer.on_rename(dyn, cycle)
             # An integrated branch that redirected fetch ends the rename
             # group (everything behind it in the queue was flushed).
             if dyn.branch_mispredicted and dyn.integrated:

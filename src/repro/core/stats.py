@@ -102,6 +102,16 @@ class SimStats:
     # Per-type retirement counts (denominators for per-type integration rates).
     retired_by_type: Counter = field(default_factory=Counter)
 
+    # CPI stall stack: every simulated cycle is blamed on exactly one
+    # bucket from :mod:`repro.obs.cpi` (``retired`` / ``frontend_empty`` /
+    # ``rename_stall`` / ``waiting_operands`` / ``memory`` /
+    # ``integration_replay`` / ``squash_recovery``), so the stack's values
+    # always sum to ``cycles``.  Keys are plain strings; elided spans are
+    # attributed arithmetically (span x blame of the quiescent state), so
+    # the stack is bit-identical with elision on or off and merges
+    # losslessly across shards like every other Counter.
+    cpi_stack: Counter = field(default_factory=Counter)
+
     # ------------------------------------------------------------------
     # derived metrics
     # ------------------------------------------------------------------
@@ -237,6 +247,9 @@ class SimStats:
     }
     #: Counter fields keyed by a plain int.
     _INT_COUNTERS = ("integration_distance", "integration_refcount")
+    #: Counter fields keyed by a plain string (deserialized back into a
+    #: Counter, not left as a bare dict).
+    _STR_COUNTERS = ("cpi_stack",)
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON rendering: counters become {key: count} dicts."""
@@ -269,6 +282,9 @@ class SimStats:
                                         for key, count in value.items()})
             elif name in cls._INT_COUNTERS:
                 kwargs[name] = Counter({int(key): count
+                                        for key, count in value.items()})
+            elif name in cls._STR_COUNTERS:
+                kwargs[name] = Counter({str(key): count
                                         for key, count in value.items()})
             else:
                 kwargs[name] = value

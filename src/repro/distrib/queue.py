@@ -598,6 +598,44 @@ class JobQueue:
         self._write_json(self.root / "workers" / f"{worker}.json", body,
                          category="workers")
 
+    def record_worker_metrics(self, worker: str,
+                              snapshot: Dict[str, Any]) -> None:
+        """Append one metrics snapshot next to the worker's stats file.
+
+        ``workers/<id>.metrics.jsonl`` feeds the ``repro status --watch``
+        sliding-window rates.  The owning worker is the only writer of
+        its own file, so a plain append is safe; readers tolerate a torn
+        tail line.  Cleaned up with the stats files by
+        :meth:`prune_terminal` and :meth:`purge`.
+        """
+        self._ensure_layout()
+        body = dict(snapshot)
+        body["worker"] = worker
+        body.setdefault("t", time.time())
+        path = self.root / "workers" / f"{worker}.metrics.jsonl"
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(body, sort_keys=True) + "\n")
+
+    def read_worker_metrics(self, worker: str,
+                            last: int = 32) -> List[Dict[str, Any]]:
+        """The last ``last`` metric snapshots a worker appended (oldest
+        first; empty when the worker never snapshotted)."""
+        path = self.root / "workers" / f"{worker}.metrics.jsonl"
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return []
+        snapshots: List[Dict[str, Any]] = []
+        for line in lines[-max(0, last):]:
+            try:
+                body = json.loads(line)
+            except ValueError:
+                continue                    # torn tail line mid-append
+            if isinstance(body, dict):
+                snapshots.append(body)
+        return snapshots
+
     def status(self, now: Optional[float] = None) -> QueueStatus:
         now = time.time() if now is None else now
         counts = {state: len(self._list(state)) for state in _STATES}

@@ -47,6 +47,7 @@ from repro.distrib.queue import (
 from repro.experiments.cache import ResultCache
 from repro.experiments.sharding import SliceSpec, simulate_slice
 from repro.functional.emulator import Checkpoint
+from repro.obs import metrics
 from repro.reliability.faults import SimulatedCrash, crashpoint
 from repro.workloads import build_workload
 
@@ -261,12 +262,47 @@ def run_worker(queue: Optional[JobQueue] = None,
     summary = WorkerSummary(worker=worker_id or worker_identity())
     idle_since: Optional[float] = None
     emit = log or (lambda message: None)
+    registry = metrics.REGISTRY
+    snapshot_interval = metrics.default_metrics_interval()
+    last_snapshot = time.time()
+
+    def mirror() -> None:
+        """Mirror the summary into ``worker.*`` registry counters (the
+        source the shared exit-line formatter renders from)."""
+        for name, value in summary.to_dict().items():
+            if name == "started_at":
+                registry.set_gauge("worker.started_at", value)
+            else:
+                registry.set_counter(f"worker.{name}", int(value))
+        registry.set_counter("worker.jobs_done", summary.jobs_done)
+
+    def maybe_snapshot(force: bool = False) -> None:
+        """Append a metrics snapshot for the status dashboard's
+        sliding-window rates (advisory: IO errors are swallowed)."""
+        nonlocal last_snapshot
+        now = time.time()
+        if not force and now - last_snapshot < snapshot_interval:
+            return
+        last_snapshot = now
+        try:
+            queue.record_worker_metrics(summary.worker, {
+                "t": now,
+                "jobs_done": summary.jobs_done,
+                "executed": summary.executed,
+                "cache_hits": summary.cache_hits,
+                "failed": summary.failed,
+            })
+        except OSError:
+            pass
+
+    mirror()
     emit(f"worker {summary.worker} draining {queue.root}")
     try:
         while max_jobs is None or summary.jobs_done < max_jobs:
             if stop is not None and stop.is_set():
                 emit(f"worker {summary.worker} stop requested; draining out")
                 break
+            maybe_snapshot()
             try:
                 summary.reclaimed += queue.reclaim_expired()
                 job = queue.claim(summary.worker)
@@ -288,17 +324,18 @@ def run_worker(queue: Optional[JobQueue] = None,
             emit(f"  job {job.key[:16]} "
                  f"({job.payload.get('benchmark', '?')})")
             process_one(queue, cache, job, summary)
+            mirror()
             try:
                 queue.record_worker(summary.worker, summary.to_dict())
             except OSError:
                 pass                    # stats are advisory, never fatal
     except KeyboardInterrupt:
         emit(f"worker {summary.worker} interrupted")
+    mirror()
+    maybe_snapshot(force=True)
     try:
         queue.record_worker(summary.worker, summary.to_dict())
     except OSError:
         pass
-    emit(f"worker {summary.worker} exiting: {summary.executed} executed, "
-         f"{summary.cache_hits} cache hits, {summary.failed} failed, "
-         f"{summary.reclaimed} leases reclaimed")
+    emit(metrics.format_worker_exit(summary.worker))
     return summary

@@ -36,6 +36,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.core import MachineConfig, SimStats, simulate
 from repro.experiments import sharding
 from repro.experiments.cache import ResultCache, disk_cache_enabled, result_key
+from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.variants import get_builder, variant_names
 from repro.workloads import build_workload, workload_names
 from repro.workloads.spec_like import estimate_dynamic_insts
@@ -55,7 +56,15 @@ SMOKE_BENCHMARKS: Tuple[str, ...] = ("gzip", "crafty", "mcf")
 _DISK_CACHE: Optional[ResultCache] = None
 
 
-@dataclass
+#: The run-telemetry counter names, in ``--verbose`` print order.
+_TELEMETRY_FIELDS = (
+    "simulations", "cycles_simulated", "cycles_elided", "memory_hits",
+    "disk_hits", "memory_evictions", "slices_simulated", "remote_jobs",
+    "leases_reclaimed", "corrupt_quarantined", "io_retries",
+    "cache_degraded", "fenced",
+)
+
+
 class RunTelemetry:
     """In-process counters describing where results came from.
 
@@ -72,36 +81,36 @@ class RunTelemetry:
     ``cache_degraded`` disk-cache writes that failed outright and fell
     back to memory-only, and ``fenced`` jobs abandoned un-published after
     this process lost its lease.
+
+    The values live in the process-wide metrics registry
+    (:data:`repro.obs.metrics.REGISTRY`, names ``run.<field>``) so every
+    reporting surface reads the same numbers; this class is an attribute
+    proxy preserving the ``telemetry.simulations += 1`` call sites.
     """
 
-    simulations: int = 0
-    cycles_simulated: int = 0
-    cycles_elided: int = 0
-    memory_hits: int = 0
-    disk_hits: int = 0
-    memory_evictions: int = 0
-    slices_simulated: int = 0
-    remote_jobs: int = 0
-    leases_reclaimed: int = 0
-    corrupt_quarantined: int = 0
-    io_retries: int = 0
-    cache_degraded: int = 0
-    fenced: int = 0
+    FIELDS = _TELEMETRY_FIELDS
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        object.__setattr__(self, "_registry",
+                           registry if registry is not None else REGISTRY)
+
+    def __getattr__(self, name: str) -> int:
+        if name in _TELEMETRY_FIELDS:
+            return self._registry.counter("run." + name)
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: int) -> None:
+        if name not in _TELEMETRY_FIELDS:
+            raise AttributeError(f"unknown telemetry counter {name!r}")
+        self._registry.set_counter("run." + name, int(value))
 
     def reset(self) -> None:
-        self.simulations = 0
-        self.cycles_simulated = 0
-        self.cycles_elided = 0
-        self.memory_hits = 0
-        self.disk_hits = 0
-        self.memory_evictions = 0
-        self.slices_simulated = 0
-        self.remote_jobs = 0
-        self.leases_reclaimed = 0
-        self.corrupt_quarantined = 0
-        self.io_retries = 0
-        self.cache_degraded = 0
-        self.fenced = 0
+        self._registry.reset("run.")
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: self._registry.counter("run." + name)
+                for name in _TELEMETRY_FIELDS}
 
 
 telemetry = RunTelemetry()

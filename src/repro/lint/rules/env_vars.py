@@ -65,6 +65,10 @@ ACCESSOR_REGISTRY: Dict[str, FrozenSet[str]] = {
         {"src/repro/reliability/retry.py::default_retry_max"}),
     "REPRO_RETRY_BASE": frozenset(
         {"src/repro/reliability/retry.py::default_retry_base"}),
+    "REPRO_TRACE": frozenset(
+        {"src/repro/obs/trace.py::default_trace_prefix"}),
+    "REPRO_METRICS_INTERVAL": frozenset(
+        {"src/repro/obs/metrics.py::default_metrics_interval"}),
 }
 
 #: Functions allowed to read a *dynamic* (non-literal) environment name:

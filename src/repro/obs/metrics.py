@@ -1,0 +1,236 @@
+"""The fleet metrics layer: a counter/gauge/histogram registry.
+
+One process-wide :data:`REGISTRY` is the single source of truth for
+operational telemetry: the run engine's :data:`repro.experiments.runner.
+telemetry` is a thin attribute proxy over ``run.*`` counters here, the
+worker drain loop mirrors its :class:`~repro.distrib.worker.WorkerSummary`
+into ``worker.*`` counters and appends periodic snapshots next to its
+stats file (``workers/<id>.metrics.jsonl``, cadence
+``REPRO_METRICS_INTERVAL``), and every ``--verbose`` summary the CLI
+prints -- ``repro run``/``submit``/``figures`` and the worker's exit line
+-- renders from the registry through the shared formatters below, so the
+numbers can never drift between surfaces.
+
+The registry is deliberately simple and dependency-free: plain dicts, no
+locks (CPython attribute/dict updates are atomic enough for the
+increment-only counters used here, and every consumer is single-process),
+no background threads.  Histograms keep bounded summaries (count / total
+/ min / max), not samples.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+#: Snapshot cadence fallback (seconds) when ``REPRO_METRICS_INTERVAL`` is
+#: unset.
+DEFAULT_METRICS_INTERVAL = 5.0
+
+
+def default_metrics_interval() -> float:
+    """Validated accessor for ``REPRO_METRICS_INTERVAL`` (the only place
+    it is read): seconds between the periodic metric snapshots a worker
+    appends for the ``repro status --watch`` dashboard (default 5)."""
+    raw = os.environ.get("REPRO_METRICS_INTERVAL",
+                         str(DEFAULT_METRICS_INTERVAL)).strip()
+    if not raw:
+        return DEFAULT_METRICS_INTERVAL
+    from repro.experiments.runner import EnvVarError
+
+    try:
+        value = float(raw)
+    except ValueError:
+        raise EnvVarError("REPRO_METRICS_INTERVAL", raw,
+                          "a number of seconds (e.g. 5)") from None
+    if not math.isfinite(value) or value <= 0:
+        raise EnvVarError("REPRO_METRICS_INTERVAL", raw,
+                          "a positive finite number of seconds (e.g. 5)")
+    return value
+
+
+class MetricsRegistry:
+    """Named counters, gauges and bounded histogram summaries.
+
+    Names are dotted (``run.simulations``, ``worker.executed``); the
+    ``counters(prefix)`` view strips the prefix so consumers can render a
+    subsystem without knowing the full map.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        #: name -> [count, total, min, max]
+        self._histograms: Dict[str, list] = {}
+
+    # -- counters ------------------------------------------------------
+    def inc(self, name: str, delta: int = 1) -> int:
+        value = self._counters.get(name, 0) + delta
+        self._counters[name] = value
+        return value
+
+    def set_counter(self, name: str, value: int) -> None:
+        self._counters[name] = value
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """Counters under ``prefix``, keyed by the stripped remainder."""
+        n = len(prefix)
+        return {name[n:]: value for name, value in self._counters.items()
+                if name.startswith(prefix)}
+
+    # -- gauges --------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    # -- histograms ----------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        entry = self._histograms.get(name)
+        if entry is None:
+            self._histograms[name] = [1, value, value, value]
+        else:
+            entry[0] += 1
+            entry[1] += value
+            if value < entry[2]:
+                entry[2] = value
+            if value > entry[3]:
+                entry[3] = value
+
+    def histogram(self, name: str) -> Optional[Dict[str, float]]:
+        entry = self._histograms.get(name)
+        if entry is None:
+            return None
+        count, total, lo, hi = entry
+        return {"count": count, "total": total, "min": lo, "max": hi,
+                "mean": total / count if count else 0.0}
+
+    # -- lifecycle -----------------------------------------------------
+    def reset(self, prefix: str = "") -> None:
+        """Zero everything under ``prefix`` ("" resets the registry)."""
+        for store in (self._counters, self._gauges, self._histograms):
+            for name in [n for n in store if n.startswith(prefix)]:
+                del store[name]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe point-in-time dump of the whole registry."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {name: self.histogram(name)
+                           for name in self._histograms},
+        }
+
+
+#: The process-wide registry every subsystem shares.
+REGISTRY = MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# the shared --verbose formatters
+# ----------------------------------------------------------------------
+#: ``run.*`` counter -> label, in verbose-block print order (the field
+#: list mirrors :class:`repro.experiments.runner.RunTelemetry`).
+RUN_COUNTER_LABELS: Tuple[Tuple[str, str], ...] = (
+    ("simulations", "local simulations"),
+    ("cycles_simulated", "cycles simulated"),
+    ("cycles_elided", "cycles elided"),
+    ("slices_simulated", "slices simulated"),
+    ("remote_jobs", "remote jobs"),
+    ("leases_reclaimed", "leases reclaimed"),
+    ("memory_hits", "memory hits"),
+    ("disk_hits", "disk hits"),
+    ("memory_evictions", "memory evictions"),
+    ("io_retries", "io retries"),
+    ("corrupt_quarantined", "corrupt quarantined"),
+    ("cache_degraded", "cache degraded"),
+    ("fenced", "fenced publishes"),
+)
+
+#: ``worker.*`` counter -> label for the worker exit line, in print order.
+WORKER_COUNTER_LABELS: Tuple[Tuple[str, str], ...] = (
+    ("executed", "executed"),
+    ("cache_hits", "cache hits"),
+    ("failed", "failed"),
+    ("reclaimed", "leases reclaimed"),
+)
+
+
+def format_run_summary(verbose: bool = False,
+                       registry: Optional[MetricsRegistry] = None) -> str:
+    """The post-run provenance line(s) rendered from ``run.*`` counters.
+
+    The one formatter behind every CLI surface that reports run
+    telemetry (``repro run``/``submit``/``figures``): the headline names
+    who computed what, and ``verbose`` appends the full aligned
+    breakdown.
+    """
+    registry = registry if registry is not None else REGISTRY
+    run = registry.counters("run.")
+
+    def count(name: str) -> int:
+        return int(run.get(name, 0))
+
+    sliced = count("slices_simulated")
+    line = (f"\n{count('simulations')} simulations"
+            + (f" ({sliced} slices)" if sliced else "") + ", "
+            f"{count('memory_hits')} memory hits, "
+            f"{count('disk_hits')} disk hits")
+    if count("remote_jobs"):
+        line += f", {count('remote_jobs')} remote jobs"
+    if count("leases_reclaimed"):
+        line += f", {count('leases_reclaimed')} leases reclaimed"
+    if count("corrupt_quarantined"):
+        line += f", {count('corrupt_quarantined')} corrupt quarantined"
+    if not verbose:
+        return line
+    lines = [line]
+    for name, label in RUN_COUNTER_LABELS:
+        value = f"{count(name)}"
+        if name == "cycles_elided" and count("cycles_simulated"):
+            fraction = count(name) / count("cycles_simulated")
+            value += f" ({fraction:.1%} elided)"
+        lines.append(f"  {label + ':':<21}{value}")
+    return "\n".join(lines)
+
+
+def format_worker_exit(worker: str,
+                       registry: Optional[MetricsRegistry] = None) -> str:
+    """The worker drain loop's exit line, from ``worker.*`` counters."""
+    registry = registry if registry is not None else REGISTRY
+    counts = registry.counters("worker.")
+    parts = [f"{int(counts.get(name, 0))} {label}"
+             for name, label in WORKER_COUNTER_LABELS]
+    return f"worker {worker} exiting: " + ", ".join(parts)
+
+
+def sliding_rate(snapshots: Iterable[Mapping[str, Any]],
+                 value_key: str = "jobs_done",
+                 time_key: str = "t",
+                 window: int = 8) -> Optional[float]:
+    """Per-minute rate over the last ``window`` snapshots (None when
+    fewer than two usable snapshots exist or no time has passed).
+
+    The sliding-window companion to the lifetime jobs/min rate: a worker
+    that was fast an hour ago but is wedged now shows a sagging window
+    rate long before the lifetime average notices.
+    """
+    usable = []
+    for snap in snapshots:
+        try:
+            usable.append((float(snap[time_key]), float(snap[value_key])))
+        except (KeyError, TypeError, ValueError):
+            continue
+    usable = usable[-window:]
+    if len(usable) < 2:
+        return None
+    (t0, v0), (t1, v1) = usable[0], usable[-1]
+    elapsed = t1 - t0
+    if elapsed <= 0:
+        return None
+    return 60.0 * (v1 - v0) / elapsed

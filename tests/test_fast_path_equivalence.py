@@ -51,6 +51,7 @@ def _fingerprint(stats):
         _sorted_items(stats.integration_distance),
         _sorted_items(stats.integration_status),
         _sorted_items(stats.retired_by_type),
+        _sorted_items(stats.cpi_stack),
     )
 
 

@@ -39,12 +39,19 @@ def assert_stats_equal_modulo_occupancy(a: SimStats, b: SimStats) -> None:
     machine for a handful of cycles without changing the retired stream).
     ``cycles_elided`` is driver mechanics, not machine behaviour: the same
     seam stall splits or shifts the elided spans, so the count is excluded
-    like the occupancy accumulator."""
+    like the occupancy accumulator.  ``cpi_stack`` is per-cycle blame: the
+    seam stall re-blames the same handful of cycles without minting or
+    losing any, so the total stays exact while individual buckets may
+    shift by a few cycles."""
     da, db = a.to_dict(), b.to_dict()
     da.pop("cycles_elided"), db.pop("cycles_elided")
     occ_a, occ_b = da.pop("rs_occupancy_sum"), db.pop("rs_occupancy_sum")
+    cpi_a, cpi_b = da.pop("cpi_stack"), db.pop("cpi_stack")
     assert da == db
     assert occ_a == pytest.approx(occ_b, rel=0.001)
+    assert sum(cpi_a.values()) == sum(cpi_b.values())
+    for bucket in set(cpi_a) | set(cpi_b):
+        assert abs(cpi_a.get(bucket, 0) - cpi_b.get(bucket, 0)) <= 8, bucket
 
 
 @pytest.fixture()
